@@ -1,0 +1,25 @@
+# Liquid Metal reproduction — common development targets.
+
+PYTHON ?= python
+
+.PHONY: test bench examples all clean
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/gpu_option_pricing.py
+	$(PYTHON) examples/fpga_waveform.py
+	$(PYTHON) examples/heterogeneous_pipeline.py
+	$(PYTHON) examples/adaptive_migration.py
+	$(PYTHON) examples/reproduce_speedups.py
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/out
+	find . -name __pycache__ -type d -exec rm -rf {} +

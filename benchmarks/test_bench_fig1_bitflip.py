@@ -1,0 +1,108 @@
+"""E1 — Figure 1: the Bitflip running example.
+
+Reproduces the three forms of Figure 1 (scalar ``flip``, data-parallel
+``mapFlip``, streaming ``taskFlip``), checks they agree, and measures
+the task-graph path on every device.
+
+NOTE on the paper text: Section 2.2 states "The result of
+mapFlip(100b) is a bit array equal to the bit literal 001b" — under the
+paper's own indexing (bit literals written MSB-first, ``bit[0]`` the
+last character) flipping every bit of ``100b`` yields ``011b``; ``001b``
+appears to be a typo in the paper. We assert the self-consistent
+``011b``.
+"""
+
+import pytest
+
+from repro.apps import compile_app
+from repro.backends.common import BYTECODE, FPGA, GPU
+from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+from repro.values import KIND_BIT, Bit, ValueArray, parse_bit_literal
+
+from harness import format_table
+
+
+def bits(text):
+    return ValueArray(KIND_BIT, parse_bit_literal(text))
+
+
+def runtime_for(device):
+    compiled = compile_app("bitflip")
+    flip_id = compiled.task_graphs[0].stages[1].task_id
+    if device == BYTECODE:
+        policy = SubstitutionPolicy(use_accelerators=False)
+    else:
+        policy = SubstitutionPolicy(directives={flip_id: device})
+    return Runtime(compiled, RuntimeConfig(policy=policy))
+
+
+class TestFigure1Semantics:
+    def test_flip_form(self):
+        runtime = runtime_for(BYTECODE)
+        assert runtime.call("Bitflip.flip", [Bit.ZERO]) is Bit.ONE
+
+    def test_mapflip_100b(self):
+        runtime = runtime_for(BYTECODE)
+        assert runtime.call("Bitflip.mapFlip", [bits("100")]) == bits("011")
+
+    def test_three_forms_agree(self):
+        runtime = runtime_for(BYTECODE)
+        stream = bits("110010111")
+        map_result = runtime.call("Bitflip.mapFlip", [stream])
+        task_result = runtime.call("Bitflip.taskFlip", [stream])
+        assert map_result == task_result
+
+    def test_all_devices_agree(self):
+        stream = bits("110010111" * 8)
+        results = {
+            device: runtime_for(device).call("Bitflip.taskFlip", [stream])
+            for device in (BYTECODE, GPU, FPGA)
+        }
+        assert results[BYTECODE] == results[GPU] == results[FPGA]
+
+
+@pytest.mark.parametrize("device", [BYTECODE, GPU, FPGA])
+def test_bench_taskflip_per_device(benchmark, device):
+    """Throughput of the Figure 1 task graph per execution device."""
+    runtime = runtime_for(device)
+    stream = bits("110010111" * 28)  # 252 bits
+    expected = ValueArray(KIND_BIT, [~b for b in stream])
+
+    def run():
+        return runtime.run("Bitflip.taskFlip", [stream])
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.value == expected
+    benchmark.extra_info["simulated_seconds"] = outcome.seconds
+    benchmark.extra_info["device"] = device
+
+
+def test_bench_fig1_report(benchmark, capsys):
+    """Summary row set: simulated time per device for one 252-bit run."""
+    stream = bits("110010111" * 28)
+    rows = []
+    outcomes = {}
+    for device in (BYTECODE, GPU, FPGA):
+        runtime = runtime_for(device)
+        outcome = runtime.run("Bitflip.taskFlip", [stream])
+        outcomes[device] = outcome
+        rows.append(
+            [
+                device,
+                f"{outcome.seconds * 1e6:.1f}us",
+                len(outcome.ledger.offloads),
+            ]
+        )
+
+    def report():
+        return format_table(
+            ["device", "simulated time", "offloads"], rows
+        )
+
+    table = benchmark.pedantic(report, rounds=1, iterations=1)
+    print("\n[E1] Figure 1 taskFlip, 252 bits:\n" + table)
+    # On a 252-bit toy stream the fixed device overheads dominate: the
+    # bytecode path must win, which is exactly why the runtime offers
+    # manual direction.
+    assert outcomes[BYTECODE].seconds < outcomes[GPU].seconds
+    assert outcomes[BYTECODE].seconds < outcomes[FPGA].seconds

@@ -1,0 +1,187 @@
+"""E6 — Section 4.2: the task substitution algorithm.
+
+Ablates the runtime's substitution policy on the two-stage
+gray_pipeline graph:
+
+* the paper's primitive algorithm (prefer larger, prefer accelerators);
+* prefer-smaller (two single-stage substitutions -> twice the boundary
+  crossings);
+* bytecode-only (manual direction to the CPU);
+* the communication-aware policy the paper leaves to future work,
+  which must refuse the accelerator for tiny streams and accept it for
+  compute-heavy ones.
+"""
+
+import pytest
+
+from repro.apps import SUITE, compile_app
+from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+from repro.values import KIND_INT, ValueArray
+
+from harness import format_table
+
+
+def run_policy(policy, n=512):
+    compiled = compile_app("gray_pipeline")
+    runtime = Runtime(compiled, RuntimeConfig(policy=policy))
+    xs = ValueArray(KIND_INT, [i * 7 % 65536 for i in range(n)])
+    outcome = runtime.run("GrayCoder.pipeline", [xs])
+    expected = ValueArray(
+        KIND_INT, [((x ^ (x >> 1)) * 3 + 1) for x in xs]
+    )
+    assert outcome.value == expected
+    _, decisions = runtime.substitution_log[-1]
+    return outcome, decisions
+
+
+def test_bench_sec4_policy_table(benchmark, capsys):
+    policies = {
+        "primitive (prefer larger)": SubstitutionPolicy(),
+        "prefer smaller": SubstitutionPolicy(prefer_larger=False),
+        "bytecode only": SubstitutionPolicy(use_accelerators=False),
+        "communication-aware": SubstitutionPolicy(
+            communication_aware=True
+        ),
+    }
+
+    def run_all():
+        return {name: run_policy(p) for name, p in policies.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, (outcome, decisions) in results.items():
+        spans = [len(d.covered_task_ids) for d in decisions]
+        rows.append(
+            [
+                name,
+                str(spans) if spans else "(none)",
+                len(outcome.ledger.offloads),
+                f"{outcome.seconds * 1e6:.1f}us",
+            ]
+        )
+    table = format_table(
+        ["policy", "substituted spans", "offloads", "simulated time"],
+        rows,
+    )
+    print("\n[E6] Substitution policy ablation (512-item stream):\n" + table)
+
+    primitive = results["primitive (prefer larger)"]
+    smaller = results["prefer smaller"]
+    # Prefer-larger picks the single fused 2-stage artifact...
+    assert [len(d.covered_task_ids) for d in primitive[1]] == [2]
+    # ... prefer-smaller picks two 1-stage artifacts.
+    assert [len(d.covered_task_ids) for d in smaller[1]] == [1, 1]
+    # The fused substitution crosses the boundary once instead of
+    # twice, so it is strictly cheaper.
+    assert primitive[0].seconds < smaller[0].seconds
+
+
+def test_bench_sec4_fused_halves_crossings(benchmark):
+    primitive, _ = benchmark.pedantic(
+        lambda: run_policy(SubstitutionPolicy()), rounds=1, iterations=1
+    )
+    smaller, _ = run_policy(SubstitutionPolicy(prefer_larger=False))
+    crossings = lambda outcome: sum(  # noqa: E731
+        len(o.transfers) for o in outcome.ledger.offloads
+    )
+    assert crossings(primitive) * 2 == crossings(smaller)
+
+
+def test_bench_sec4_communication_aware_threshold(benchmark, capsys):
+    """The future-work policy: accelerate only when compute beats
+    transfer. Tiny stream -> CPU; compute-heavy filter -> accelerator."""
+    policy = SubstitutionPolicy(communication_aware=True)
+
+    def tiny():
+        return run_policy(policy, n=4)
+
+    _, tiny_decisions = benchmark.pedantic(tiny, rounds=1, iterations=1)
+    assert tiny_decisions == []
+
+    # The CRC filter does ~8 rounds of bit work per item: compute-heavy
+    # enough for the estimator to approve on a long stream.
+    compiled = compile_app("crc8")
+    runtime = Runtime(compiled, RuntimeConfig(policy=policy))
+    xs = ValueArray(KIND_INT, [i % 256 for i in range(4096)])
+    runtime.run("Crc8.checksums", [xs])
+    _, decisions = runtime.substitution_log[-1]
+    assert len(decisions) == 1
+    print(
+        "\n[E6] communication-aware: tiny stream -> no substitution; "
+        f"4096-item CRC stream -> {decisions[0].device} substitution"
+    )
+
+
+def test_bench_sec4_manual_direction(benchmark):
+    """Manual direction overrides the primitive preference."""
+    compiled = compile_app("gray_pipeline")
+    stage_ids = [s.task_id for s in compiled.task_graphs[0].stages]
+    policy = SubstitutionPolicy(
+        directives={stage_ids[1]: "fpga", stage_ids[2]: "fpga"}
+    )
+    runtime = Runtime(compiled, RuntimeConfig(policy=policy))
+    xs = ValueArray(KIND_INT, list(range(64)))
+
+    outcome = benchmark.pedantic(
+        lambda: runtime.run("GrayCoder.pipeline", [xs]),
+        rounds=1,
+        iterations=1,
+    )
+    _, decisions = runtime.substitution_log[-1]
+    assert {d.device for d in decisions} == {"fpga"}
+    assert outcome.value == ValueArray(
+        KIND_INT, [((x ^ (x >> 1)) * 3 + 1) for x in range(64)]
+    )
+
+
+def test_bench_sec4_runtime_adaptation(benchmark, capsys):
+    """The paper's remaining future work: dynamic migration / runtime
+    adaptation. The adaptive task probes the CPU, probes the device at
+    two batch sizes (separating fixed launch/transfer overhead from
+    marginal cost), then migrates the stream to the winner."""
+    from repro.values import KIND_INT, ValueArray
+
+    def run():
+        out = {}
+        for n in (96, 4096):
+            compiled = compile_app("crc8")
+            runtime = Runtime(
+                compiled,
+                RuntimeConfig(policy=SubstitutionPolicy(adaptive=True)),
+            )
+            xs = ValueArray(KIND_INT, [i % 256 for i in range(n)])
+            outcome = runtime.run("Crc8.checksums", [xs])
+            record = (
+                runtime.adaptation_log[0]
+                if runtime.adaptation_log
+                else None
+            )
+            out[n] = (outcome, record)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n, (outcome, record) in results.items():
+        if record is None:
+            rows.append([n, "(stream ended during probing)", "-", "-"])
+        else:
+            rows.append(
+                [
+                    n,
+                    record.chosen,
+                    f"{record.cpu_s_per_item * 1e9:.0f}ns",
+                    f"{record.device_s_per_item * 1e9:.0f}ns",
+                ]
+            )
+    table = format_table(
+        ["stream", "migrated to", "cpu/item", "device/item (amortized)"],
+        rows,
+    )
+    print("\n[E6] runtime adaptation (CRC-8):\n" + table)
+    _, long_record = results[4096]
+    assert long_record is not None
+    # Compute-heavy CRC at full batches: the device must win.
+    assert long_record.chosen == long_record.device
+    assert (
+        long_record.device_s_per_item < long_record.cpu_s_per_item
+    )

@@ -1,0 +1,119 @@
+"""E7 — Section 7: device attachments and three-way co-execution.
+
+The paper's runtime supports PCIe-attached FPGAs (Nallatech 280) and
+UART-attached development boards (XUP V5, Spartan LX9). This bench
+contrasts the two attachments on the same CRC stream — the UART's
+~92 KB/s serial link must dominate end-to-end time by orders of
+magnitude — and demonstrates the CPU+GPU+FPGA co-execution the paper
+lists as a current direction.
+"""
+
+import pytest
+
+from repro.apps import SUITE, compile_app
+from repro.devices.interconnect import PCIE_GEN2_X8, UART_921600
+from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+from repro.values import KIND_INT, ValueArray
+
+from harness import format_table
+
+
+def crc_runtime(link):
+    compiled = compile_app("crc8")
+    crc_id = compiled.task_graphs[0].stages[1].task_id
+    policy = SubstitutionPolicy(directives={crc_id: "fpga"})
+    config = RuntimeConfig(policy=policy, fpga_link=link)
+    return Runtime(compiled, config)
+
+
+def test_bench_sec7_pcie_vs_uart(benchmark, capsys):
+    xs = ValueArray(KIND_INT, [i % 256 for i in range(2048)])
+
+    def run_both():
+        out = {}
+        for label, link in (
+            ("PCIe x8 (Nallatech 280)", PCIE_GEN2_X8),
+            ("UART 921600 (XUP V5)", UART_921600),
+        ):
+            runtime = crc_runtime(link)
+            out[label] = runtime.run("Crc8.checksums", [xs])
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    for label, outcome in results.items():
+        offload = outcome.ledger.offloads[0]
+        rows.append(
+            [
+                label,
+                f"{offload.kernel_s * 1e6:9.1f}us",
+                f"{offload.transfer_s * 1e6:9.1f}us",
+                f"{outcome.seconds * 1e3:9.3f}ms",
+            ]
+        )
+    table = format_table(
+        ["attachment", "fpga compute", "transfer", "end-to-end"], rows
+    )
+    print("\n[E7] FPGA attachment comparison (2048-word CRC stream):\n" + table)
+
+    pcie = results["PCIe x8 (Nallatech 280)"]
+    uart = results["UART 921600 (XUP V5)"]
+    assert pcie.value == uart.value
+    # Same silicon, ~3 orders of magnitude apart end-to-end.
+    assert uart.seconds / pcie.seconds > 100
+    # Over UART the link utterly dominates the FPGA compute time.
+    uart_offload = uart.ledger.offloads[0]
+    assert uart_offload.transfer_s > uart_offload.kernel_s * 50
+
+
+def test_bench_sec7_three_way_coexecution(benchmark, capsys):
+    """CPU host + GPU map + FPGA stream in one Lime program."""
+    compiled = compile_app("hybrid")
+    pack_id = compiled.task_graphs[0].stages[1].task_id
+    policy = SubstitutionPolicy(directives={pack_id: "fpga"})
+    runtime = Runtime(compiled, RuntimeConfig(policy=policy))
+    entry, args = SUITE["hybrid"].default_args()
+
+    outcome = benchmark.pedantic(
+        lambda: runtime.run(entry, args), rounds=1, iterations=1
+    )
+    devices = sorted({o.device for o in outcome.ledger.offloads})
+    assert devices == ["fpga", "gpu"]
+    assert outcome.ledger.host_s > 0
+    rows = [
+        [
+            o.device,
+            o.kind,
+            o.items,
+            f"{o.kernel_s * 1e6:.1f}us",
+            f"{o.transfer_s * 1e6:.1f}us",
+        ]
+        for o in outcome.ledger.offloads
+    ]
+    table = format_table(
+        ["device", "kind", "items", "compute", "transfer"], rows
+    )
+    print(
+        "\n[E7] Three-way co-execution (hybrid app), host "
+        f"{outcome.ledger.host_s * 1e6:.1f}us:\n" + table
+    )
+    # Cross-check against the pure-bytecode run.
+    plain = Runtime(
+        compiled,
+        RuntimeConfig(policy=SubstitutionPolicy(use_accelerators=False)),
+    ).run(entry, args)
+    assert outcome.value == pytest.approx(plain.value)
+
+
+def test_bench_sec7_uart_only_viable_for_tiny_payloads(benchmark):
+    """Why the dev boards are still useful: at very small payloads the
+    UART's fixed latency is tolerable and iteration speed is what
+    matters (the design-flow story of Section 5)."""
+    xs_small = ValueArray(KIND_INT, [1, 2, 3, 4])
+    runtime = crc_runtime(UART_921600)
+    outcome = benchmark.pedantic(
+        lambda: runtime.run("Crc8.checksums", [xs_small]),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.seconds < 0.01  # 10ms: fine for interactive debug

@@ -1,0 +1,13 @@
+"""Pytest root configuration: make ``src/`` importable without install.
+
+The canonical installation is ``pip install -e .``; this fallback keeps
+the test suite runnable in offline environments where the editable
+build cannot fetch the ``wheel`` build dependency.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "benchmarks"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

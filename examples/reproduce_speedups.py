@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Regenerate the headline result: §2.2's 12×–431× CPU+GPU speedups.
+
+Runs every GPU benchmark functionally at laptop scale, then
+extrapolates the simulator's own fixed/variable cost decomposition to
+paper-era problem sizes, printing the speedup table EXPERIMENTS.md
+records. Expect ~30-60 seconds of wall time (the bytecode interpreter
+executes every work item twice, once per device path).
+
+Run:  python examples/reproduce_speedups.py
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+)
+
+from harness import PAPER_SCALES, format_table, measure_pair, paper_scale
+
+
+def main() -> None:
+    print("measuring CPU vs CPU+GPU (simulated GTX580) ...\n")
+    rows = []
+    winners = []
+    for name in PAPER_SCALES:
+        result = paper_scale(measure_pair(name))
+        rows.append(
+            [
+                name,
+                result.paper_label,
+                f"{result.measured_speedup:7.2f}x",
+                f"{result.paper_speedup:8.1f}x",
+            ]
+        )
+        if result.paper_speedup > 5:
+            winners.append(result.paper_speedup)
+        print(f"  {name} done")
+    print()
+    print(
+        format_table(
+            ["benchmark", "paper scale", "measured", "paper-scale model"],
+            rows,
+        )
+    )
+    print(
+        f"\ncompute-bound range: {min(winners):.0f}x - {max(winners):.0f}x"
+        "  (paper: 12x - 431x end-to-end on a GTX580)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Liquid Metal reproduction: a compiler and runtime for heterogeneous
+computing (Auerbach et al., DAC 2012).
+
+The package implements the Lime language frontend, a task-graph IR,
+three backend compilers (bytecode/CPU, OpenCL/GPU, Verilog/FPGA),
+simulated devices, and the co-execution runtime.
+
+Typical entry points::
+
+    from repro import compile_program, Runtime
+
+    result = compile_program(lime_source)
+    runtime = Runtime(result)
+    runtime.call("Main", "run")
+"""
+
+from repro.errors import LiquidMetalError
+
+__version__ = "1.0.0"
+
+
+def compile_program(source, **kwargs):
+    """Compile Lime source text to a :class:`repro.compiler.CompileResult`.
+
+    Imported lazily so that ``import repro`` stays cheap.
+    """
+    from repro.compiler import compile_program as _compile
+
+    return _compile(source, **kwargs)
+
+
+def __getattr__(name):
+    if name == "Runtime":
+        from repro.runtime.engine import Runtime
+
+        return Runtime
+    if name == "compile_report":
+        from repro.compiler import compile_report
+
+        return compile_report
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = ["LiquidMetalError", "Runtime", "compile_program", "compile_report"]

@@ -1,0 +1,397 @@
+"""Lime application sources.
+
+These are the benchmarks of the reproduction, mirroring the application
+mix of the paper and its PLDI'12 companion: data-parallel map/reduce
+kernels that offload to the GPU (Black-Scholes, Mandelbrot, n-body,
+matrix multiply, DCT, convolution, k-means, saxpy, vector reduction)
+and streaming bit/integer task graphs that synthesize to the FPGA
+(bitflip — Figure 1 — CRC, Gray coding, parity).
+
+Every program is plain Lime source compiled by the full toolchain; the
+``@`` map operator uses broadcasting for whole-array operands (matrix
+multiply receives its input matrices broadcast, one output element per
+work item).
+"""
+
+FIGURE1_BITFLIP = """
+public class Bitflip {
+    local static bit flip(bit b) {
+        return ~b;
+    }
+    local static bit[[]] mapFlip(bit[[]] input) {
+        var flipped = Bitflip @ flip(input);
+        return flipped;
+    }
+    static bit[[]] taskFlip(bit[[]] input) {
+        bit[] result = new bit[input.length];
+        var flipit = input.source(1)
+            => ([ task flip ])
+            => result.<bit>sink();
+        flipit.finish();
+        return new bit[[]](result);
+    }
+}
+"""
+
+SAXPY = """
+public class Saxpy {
+    local static float axpy(float a, float x, float y) {
+        return a * x + y;
+    }
+    static float[[]] run(float a, float[[]] xs, float[[]] ys) {
+        return Saxpy @ axpy(a, xs, ys);
+    }
+}
+"""
+
+VECTOR_SUM = """
+public class VectorOps {
+    local static float add(float x, float y) {
+        return x + y;
+    }
+    static float sum(float[[]] xs) {
+        return VectorOps ! add(xs);
+    }
+}
+"""
+
+BLACK_SCHOLES = """
+public class BlackScholes {
+    local static float cnd(float x) {
+        float a1 = 0.31938153f;
+        float a2 = -0.356563782f;
+        float a3 = 1.781477937f;
+        float a4 = -1.821255978f;
+        float a5 = 1.330274429f;
+        float l = Math.abs(x);
+        float k = 1.0f / (1.0f + 0.2316419f * l);
+        float k2 = k * k;
+        float k3 = k2 * k;
+        float k4 = k3 * k;
+        float k5 = k4 * k;
+        float poly = a1 * k + a2 * k2 + a3 * k3 + a4 * k4 + a5 * k5;
+        float w = 1.0f
+            - 0.39894228f * (float) Math.exp(-0.5f * l * l) * poly;
+        if (x < 0.0f) {
+            return 1.0f - w;
+        }
+        return w;
+    }
+    local static float callPrice(float s, float k, float t,
+                                 float r, float v) {
+        float sqrtT = (float) Math.sqrt(t);
+        float d1 = ((float) Math.log(s / k) + (r + 0.5f * v * v) * t)
+            / (v * sqrtT);
+        float d2 = d1 - v * sqrtT;
+        return s * cnd(d1) - k * (float) Math.exp(-r * t) * cnd(d2);
+    }
+    static float[[]] price(float[[]] spots, float[[]] strikes,
+                           float[[]] times, float r, float v) {
+        return BlackScholes @ callPrice(spots, strikes, times, r, v);
+    }
+}
+"""
+
+MANDELBROT = """
+public class Mandelbrot {
+    local static int escape(int idx, int width, int height, int maxIter) {
+        float cx = -2.5f + 3.5f * (float) (idx % width) / (float) width;
+        float cy = -1.25f + 2.5f * (float) (idx / width) / (float) height;
+        float zx = 0.0f;
+        float zy = 0.0f;
+        for (int i = 0; i < maxIter; i++) {
+            float zx2 = zx * zx;
+            float zy2 = zy * zy;
+            if (zx2 + zy2 > 4.0f) {
+                return i;
+            }
+            float nzx = zx2 - zy2 + cx;
+            zy = 2.0f * zx * zy + cy;
+            zx = nzx;
+        }
+        return maxIter;
+    }
+    static int[[]] render(int[[]] indices, int width, int height,
+                          int maxIter) {
+        return Mandelbrot @ escape(indices, width, height, maxIter);
+    }
+}
+"""
+
+NBODY = """
+public class NBody {
+    local static float potential(int i, float[[]] xs, float[[]] ys,
+                                 float[[]] zs, float[[]] ms) {
+        float px = xs[i];
+        float py = ys[i];
+        float pz = zs[i];
+        float acc = 0.0f;
+        for (int j = 0; j < xs.length; j++) {
+            if (j != i) {
+                float dx = xs[j] - px;
+                float dy = ys[j] - py;
+                float dz = zs[j] - pz;
+                float dist = (float) Math.sqrt(
+                    dx * dx + dy * dy + dz * dz + 0.0001f);
+                acc += ms[j] / dist;
+            }
+        }
+        return acc;
+    }
+    static float[[]] potentials(int[[]] indices, float[[]] xs,
+                                float[[]] ys, float[[]] zs,
+                                float[[]] ms) {
+        return NBody @ potential(indices, xs, ys, zs, ms);
+    }
+}
+"""
+
+MATMUL = """
+public class MatMul {
+    local static float cell(int idx, float[[]] a, float[[]] b, int n) {
+        int row = idx / n;
+        int col = idx % n;
+        float acc = 0.0f;
+        for (int k = 0; k < n; k++) {
+            acc += a[row * n + k] * b[k * n + col];
+        }
+        return acc;
+    }
+    static float[[]] multiply(int[[]] indices, float[[]] a,
+                              float[[]] b, int n) {
+        return MatMul @ cell(indices, a, b, n);
+    }
+}
+"""
+
+CONVOLUTION = """
+public class Convolution {
+    local static float at(int i, float[[]] signal, float[[]] taps) {
+        float acc = 0.0f;
+        for (int k = 0; k < taps.length; k++) {
+            int j = i + k - taps.length / 2;
+            if (j >= 0 && j < signal.length) {
+                acc += signal[j] * taps[k];
+            }
+        }
+        return acc;
+    }
+    static float[[]] fir(int[[]] indices, float[[]] signal,
+                         float[[]] taps) {
+        return Convolution @ at(indices, signal, taps);
+    }
+}
+"""
+
+DCT8X8 = """
+public class Dct {
+    local static float coeff(int idx, float[[]] pixels, int width) {
+        int blocksPerRow = width / 8;
+        int block = idx / 64;
+        int within = idx % 64;
+        int u = within % 8;
+        int v = within / 8;
+        int bx = (block % blocksPerRow) * 8;
+        int by = (block / blocksPerRow) * 8;
+        float sum = 0.0f;
+        for (int y = 0; y < 8; y++) {
+            for (int x = 0; x < 8; x++) {
+                float pixel = pixels[(by + y) * width + bx + x];
+                float cosx = (float) Math.cos(
+                    (2.0 * x + 1.0) * u * 3.141592653589793 / 16.0);
+                float cosy = (float) Math.cos(
+                    (2.0 * y + 1.0) * v * 3.141592653589793 / 16.0);
+                sum += pixel * cosx * cosy;
+            }
+        }
+        float cu = u == 0 ? 0.35355338f : 0.5f;
+        float cv = v == 0 ? 0.35355338f : 0.5f;
+        return cu * cv * sum;
+    }
+    static float[[]] transform(int[[]] indices, float[[]] pixels,
+                               int width) {
+        return Dct @ coeff(indices, pixels, width);
+    }
+}
+"""
+
+KMEANS = """
+public class KMeans {
+    local static int nearest(int i, float[[]] px, float[[]] py,
+                             float[[]] cx, float[[]] cy) {
+        float bestD = 3.4e38f;
+        int best = 0;
+        for (int c = 0; c < cx.length; c++) {
+            float dx = px[i] - cx[c];
+            float dy = py[i] - cy[c];
+            float d = dx * dx + dy * dy;
+            if (d < bestD) {
+                bestD = d;
+                best = c;
+            }
+        }
+        return best;
+    }
+    static int[[]] assign(int[[]] indices, float[[]] px, float[[]] py,
+                          float[[]] cx, float[[]] cy) {
+        return KMeans @ nearest(indices, px, py, cx, cy);
+    }
+}
+"""
+
+GRAY_PIPELINE = """
+public class GrayCoder {
+    local static int encode(int x) {
+        return x ^ (x >> 1);
+    }
+    local static int scale(int x) {
+        return x * 3 + 1;
+    }
+    static int[[]] pipeline(int[[]] input) {
+        int[] result = new int[input.length];
+        var g = input.source(1)
+            => ([ task encode => task scale ])
+            => result.<int>sink();
+        g.finish();
+        return new int[[]](result);
+    }
+}
+"""
+
+CRC8 = """
+public class Crc8 {
+    local static int step(int b) {
+        int crc = b & 255;
+        for (int i = 0; i < 8; i++) {
+            int fb = crc & 1;
+            crc = crc >> 1;
+            if (fb == 1) {
+                crc = crc ^ 140;
+            }
+        }
+        return crc;
+    }
+    static int[[]] checksums(int[[]] data) {
+        int[] out = new int[data.length];
+        var t = data.source(1) => ([ task step ]) => out.<int>sink();
+        t.finish();
+        return new int[[]](out);
+    }
+}
+"""
+
+PARITY = """
+public class Parity {
+    local static bit parity(int x) {
+        int p = 0;
+        for (int i = 0; i < 32; i++) {
+            p = p ^ ((x >> i) & 1);
+        }
+        return p == 1 ? bit.one : bit.zero;
+    }
+    static bit[[]] compute(int[[]] words) {
+        bit[] out = new bit[words.length];
+        var t = words.source(1) => ([ task parity ]) => out.<bit>sink();
+        t.finish();
+        return new bit[[]](out);
+    }
+}
+"""
+
+HYBRID = """
+public class Hybrid {
+    local static float heavy(float x) {
+        float acc = 0.0f;
+        for (int i = 0; i < 16; i++) {
+            acc += (float) Math.exp(Math.sin(x + i));
+        }
+        return acc;
+    }
+    local static int pack(int x) {
+        return (x * 7 + 3) & 255;
+    }
+    static float run(float[[]] xs, int[[]] codes) {
+        var mapped = Hybrid @ heavy(xs);
+        int[] out = new int[codes.length];
+        var t = codes.source(1) => ([ task pack ]) => out.<int>sink();
+        t.finish();
+        float s = 0.0f;
+        for (int i = 0; i < mapped.length; i++) {
+            s += mapped[i];
+        }
+        for (int i = 0; i < out.length; i++) {
+            s += out[i];
+        }
+        return s;
+    }
+}
+"""
+
+RUNNING_SUM = """
+public class Accumulator {
+    int sum;
+    local Accumulator(int start) {
+        this.sum = start;
+    }
+    local int add(int x) {
+        sum += x;
+        return sum;
+    }
+}
+public class RunningSum {
+    static int[[]] compute(int[[]] xs) {
+        int[] out = new int[xs.length];
+        var acc = new Accumulator(0);
+        var t = xs.source(1) => ([ task acc.add ]) => out.<int>sink();
+        t.finish();
+        return new int[[]](out);
+    }
+}
+"""
+
+SOBEL = """
+public class Sobel {
+    local static int at(int idx, int[[]] image, int width, int height) {
+        int x = idx % width;
+        int y = idx / width;
+        if (x == 0 || y == 0 || x == width - 1 || y == height - 1) {
+            return 0;
+        }
+        int p00 = image[(y - 1) * width + x - 1];
+        int p01 = image[(y - 1) * width + x];
+        int p02 = image[(y - 1) * width + x + 1];
+        int p10 = image[y * width + x - 1];
+        int p12 = image[y * width + x + 1];
+        int p20 = image[(y + 1) * width + x - 1];
+        int p21 = image[(y + 1) * width + x];
+        int p22 = image[(y + 1) * width + x + 1];
+        int gx = (p02 + 2 * p12 + p22) - (p00 + 2 * p10 + p20);
+        int gy = (p20 + 2 * p21 + p22) - (p00 + 2 * p01 + p02);
+        int magnitude = Math.abs(gx) + Math.abs(gy);
+        return Math.min(magnitude, 255);
+    }
+    static int[[]] edges(int[[]] indices, int[[]] image,
+                         int width, int height) {
+        return Sobel @ at(indices, image, width, height);
+    }
+}
+"""
+
+ALL_SOURCES = {
+    "bitflip": FIGURE1_BITFLIP,
+    "saxpy": SAXPY,
+    "vector_sum": VECTOR_SUM,
+    "black_scholes": BLACK_SCHOLES,
+    "mandelbrot": MANDELBROT,
+    "nbody": NBODY,
+    "matmul": MATMUL,
+    "convolution": CONVOLUTION,
+    "dct8x8": DCT8X8,
+    "kmeans": KMEANS,
+    "gray_pipeline": GRAY_PIPELINE,
+    "crc8": CRC8,
+    "parity": PARITY,
+    "hybrid": HYBRID,
+    "running_sum": RUNNING_SUM,
+    "sobel": SOBEL,
+}

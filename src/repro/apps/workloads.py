@@ -1,0 +1,168 @@
+"""Deterministic workload generators for the application suite.
+
+All generators are seeded (xorshift-based) so every benchmark run sees
+identical inputs; sizes default to "paper-shaped but laptop-scale"
+(the timing model makes simulated speedups size-stable, so modest
+inputs reproduce the published shapes)."""
+
+from __future__ import annotations
+
+from repro.values import KIND_FLOAT, KIND_INT, Bit, ValueArray
+
+
+class XorShift:
+    """Tiny deterministic PRNG (xorshift32)."""
+
+    def __init__(self, seed: int = 0x9E3779B9):
+        self.state = seed & 0xFFFFFFFF or 1
+
+    def next_u32(self) -> int:
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self.state = x
+        return x
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return lo + (hi - lo) * (self.next_u32() / 2**32)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return lo + self.next_u32() % (hi - lo)
+
+
+def float_array(n: int, lo: float, hi: float, seed: int) -> ValueArray:
+    rng = XorShift(seed)
+    return ValueArray(
+        KIND_FLOAT, [rng.uniform(lo, hi) for _ in range(n)]
+    )
+
+
+def int_array(n: int, lo: int, hi: int, seed: int) -> ValueArray:
+    rng = XorShift(seed)
+    return ValueArray(KIND_INT, [rng.randint(lo, hi) for _ in range(n)])
+
+
+def index_array(n: int) -> ValueArray:
+    return ValueArray(KIND_INT, list(range(n)))
+
+
+def bit_stream(n: int, seed: int = 7) -> ValueArray:
+    rng = XorShift(seed)
+    from repro.values import KIND_BIT
+
+    return ValueArray(KIND_BIT, [Bit(rng.next_u32() & 1) for _ in range(n)])
+
+
+# -- per-benchmark argument builders ----------------------------------------
+# Each returns (entry_point, args) for a compiled program's Runtime.
+
+
+def saxpy_args(n: int = 4096):
+    return "Saxpy.run", [
+        2.5,
+        float_array(n, -1.0, 1.0, 11),
+        float_array(n, -1.0, 1.0, 12),
+    ]
+
+
+def vector_sum_args(n: int = 4096):
+    return "VectorOps.sum", [float_array(n, 0.0, 1.0, 13)]
+
+
+def black_scholes_args(n: int = 2048):
+    return "BlackScholes.price", [
+        float_array(n, 10.0, 100.0, 21),   # spot
+        float_array(n, 10.0, 100.0, 22),   # strike
+        float_array(n, 0.2, 2.0, 23),      # time
+        0.02,                               # rate (broadcast)
+        0.30,                               # volatility (broadcast)
+    ]
+
+
+def mandelbrot_args(width: int = 48, height: int = 32, max_iter: int = 48):
+    n = width * height
+    return "Mandelbrot.render", [index_array(n), width, height, max_iter]
+
+
+def nbody_args(n: int = 192):
+    return "NBody.potentials", [
+        index_array(n),
+        float_array(n, -1.0, 1.0, 31),
+        float_array(n, -1.0, 1.0, 32),
+        float_array(n, -1.0, 1.0, 33),
+        float_array(n, 0.5, 2.0, 34),
+    ]
+
+
+def matmul_args(n: int = 24):
+    return "MatMul.multiply", [
+        index_array(n * n),
+        float_array(n * n, -1.0, 1.0, 41),
+        float_array(n * n, -1.0, 1.0, 42),
+        n,
+    ]
+
+
+def convolution_args(n: int = 2048, taps: int = 17):
+    return "Convolution.fir", [
+        index_array(n),
+        float_array(n, -1.0, 1.0, 51),
+        float_array(taps, -0.5, 0.5, 52),
+    ]
+
+
+def dct_args(width: int = 32, height: int = 16):
+    n = width * height
+    return "Dct.transform", [
+        index_array(n),
+        float_array(n, 0.0, 255.0, 61),
+        width,
+    ]
+
+
+def kmeans_args(points: int = 1024, clusters: int = 12):
+    return "KMeans.assign", [
+        index_array(points),
+        float_array(points, 0.0, 10.0, 71),
+        float_array(points, 0.0, 10.0, 72),
+        float_array(clusters, 0.0, 10.0, 73),
+        float_array(clusters, 0.0, 10.0, 74),
+    ]
+
+
+def bitflip_args(n: int = 256):
+    return "Bitflip.taskFlip", [bit_stream(n, seed=9)]
+
+
+def gray_pipeline_args(n: int = 256):
+    return "GrayCoder.pipeline", [int_array(n, 0, 1 << 16, 81)]
+
+
+def crc8_args(n: int = 256):
+    return "Crc8.checksums", [int_array(n, 0, 256, 82)]
+
+
+def parity_args(n: int = 256):
+    return "Parity.compute", [int_array(n, 0, 1 << 30, 83)]
+
+
+def hybrid_args(n_map: int = 512, n_stream: int = 128):
+    return "Hybrid.run", [
+        float_array(n_map, -1.0, 1.0, 91),
+        int_array(n_stream, 0, 1 << 16, 92),
+    ]
+
+
+def running_sum_args(n: int = 128):
+    return "RunningSum.compute", [int_array(n, -50, 50, 95)]
+
+
+def sobel_args(width: int = 48, height: int = 32):
+    n = width * height
+    return "Sobel.edges", [
+        index_array(n),
+        int_array(n, 0, 256, 97),
+        width,
+        height,
+    ]

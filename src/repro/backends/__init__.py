@@ -1,0 +1,23 @@
+"""Backend device compilers: bytecode (CPU), OpenCL (GPU), Verilog (FPGA)."""
+
+from repro.backends.common import (
+    BYTECODE,
+    DEVICE_KINDS,
+    FPGA,
+    GPU,
+    Artifact,
+    ArtifactStore,
+    Exclusion,
+    Manifest,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "BYTECODE",
+    "DEVICE_KINDS",
+    "Exclusion",
+    "FPGA",
+    "GPU",
+    "Manifest",
+]

@@ -1,0 +1,17 @@
+"""The CPU backend: bytecode ISA, compiler, and interpreter."""
+
+from repro.backends.bytecode.compiler import (
+    compile_module,
+    make_cpu_artifact,
+)
+from repro.backends.bytecode.interpreter import Interpreter, Services
+from repro.backends.bytecode.isa import BytecodeProgram, CompiledFunction
+
+__all__ = [
+    "BytecodeProgram",
+    "CompiledFunction",
+    "Interpreter",
+    "Services",
+    "compile_module",
+    "make_cpu_artifact",
+]

@@ -1,0 +1,141 @@
+"""Artifacts, manifests, and the artifact store.
+
+Section 3: "The result of a compilation with Liquid Metal is a
+collection of artifacts for different architectures, each labeled with
+the particular computational node that it implements … The frontend and
+backend compilers cooperate to produce a manifest describing each
+generated artifact and labeling it with a unique task identifier."
+
+An :class:`Artifact` is an executable entity for one device kind; its
+:class:`Manifest` lists the task identifiers it implements so that the
+runtime can find semantically equivalent implementations during task
+substitution (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+# Device kinds, in the runtime's default preference order: the paper's
+# substitution algorithm "favors GPU and FPGA artifacts to bytecode".
+BYTECODE = "bytecode"
+GPU = "gpu"
+FPGA = "fpga"
+
+DEVICE_KINDS = (BYTECODE, GPU, FPGA)
+
+
+@dataclass
+class Manifest:
+    """Describes one generated artifact."""
+
+    artifact_id: str
+    device: str
+    task_ids: list                 # task ids this artifact implements, in pipeline order
+    graph_id: Optional[str] = None  # owning static graph, if any
+    source_language: str = ""      # 'java-bytecode' | 'opencl' | 'verilog'
+    properties: dict = field(default_factory=dict)
+
+    def implements(self, task_id: str) -> bool:
+        return task_id in self.task_ids
+
+    def __repr__(self) -> str:
+        return (
+            f"Manifest({self.artifact_id}, device={self.device}, "
+            f"tasks={len(self.task_ids)})"
+        )
+
+
+@dataclass
+class Artifact:
+    """One executable entity plus its manifest.
+
+    ``payload`` is device specific: the bytecode program, a compiled
+    GPU kernel bundle, or an FPGA module bundle. ``text`` carries the
+    human-readable generated code (OpenCL C / Verilog) where one exists.
+    """
+
+    manifest: Manifest
+    payload: object
+    text: str = ""
+
+    @property
+    def artifact_id(self) -> str:
+        return self.manifest.artifact_id
+
+    @property
+    def device(self) -> str:
+        return self.manifest.device
+
+    def __repr__(self) -> str:
+        return f"Artifact({self.artifact_id}, {self.device})"
+
+
+@dataclass
+class Exclusion:
+    """Why a backend declined to compile a task (Section 3: a task with
+    unsuitable constructs "is excluded from further compilation by that
+    backend")."""
+
+    device: str
+    task_id: str
+    reason: str
+
+    def __repr__(self) -> str:
+        return f"Exclusion({self.device}, {self.task_id}: {self.reason})"
+
+
+class ArtifactStore:
+    """The repository the runtime consults during task substitution.
+
+    Keyed by task identifier; the store can answer "which devices have
+    an implementation covering this span of tasks?".
+    """
+
+    def __init__(self):
+        self._artifacts: list[Artifact] = []
+        self._by_task: dict[str, list[Artifact]] = {}
+        self.exclusions: list[Exclusion] = []
+
+    def add(self, artifact: Artifact) -> None:
+        self._artifacts.append(artifact)
+        for task_id in artifact.manifest.task_ids:
+            self._by_task.setdefault(task_id, []).append(artifact)
+
+    def add_exclusion(self, exclusion: Exclusion) -> None:
+        self.exclusions.append(exclusion)
+
+    def all(self) -> list:
+        return list(self._artifacts)
+
+    def for_task(self, task_id: str) -> list:
+        """Artifacts implementing the given task id."""
+        return list(self._by_task.get(task_id, ()))
+
+    def for_device(self, device: str) -> list:
+        return [a for a in self._artifacts if a.device == device]
+
+    def lookup(self, artifact_id: str) -> Optional[Artifact]:
+        for artifact in self._artifacts:
+            if artifact.artifact_id == artifact_id:
+                return artifact
+        return None
+
+    def spans(self, task_ids: list, device: str) -> list:
+        """Artifacts on ``device`` whose task list is exactly a
+        contiguous subsequence of ``task_ids`` — candidates for
+        substituting that region."""
+        out = []
+        joined = list(task_ids)
+        for artifact in self.for_device(device):
+            ids = artifact.manifest.task_ids
+            n = len(ids)
+            for start in range(0, len(joined) - n + 1):
+                if joined[start : start + n] == ids:
+                    out.append((start, artifact))
+                    break
+        return out
+
+    def __len__(self) -> int:
+        return len(self._artifacts)

@@ -1,0 +1,11 @@
+"""The GPU backend: OpenCL code generation and kernel artifacts."""
+
+from repro.backends.opencl.compiler import GPUKernel, OpenCLBackend, compile_gpu
+from repro.backends.opencl.exclusion import exclusion_reasons
+
+__all__ = [
+    "GPUKernel",
+    "OpenCLBackend",
+    "compile_gpu",
+    "exclusion_reasons",
+]

@@ -1,0 +1,382 @@
+"""OpenCL C code generation from the function IR.
+
+The generated source is a faithful artifact of the compilation (tests
+assert on it, and a vendor toolchain could in principle compile it);
+execution in this reproduction happens on the SIMT simulator, which
+runs the same methods' bytecode under a GPU timing model — see
+DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.ir import nodes as ir
+from repro.lime import types as ty
+from repro.values.bits import Bit
+from repro.values.enums import EnumValue
+
+_SCALAR_TYPES = {
+    "int": "int",
+    "long": "long",
+    "float": "float",
+    "double": "double",
+    "boolean": "int",
+    "bit": "uchar",
+}
+
+
+def mangle(qualified: str) -> str:
+    return qualified.replace(".", "_").replace("~", "invert")
+
+
+def cl_type(type_) -> str:
+    if isinstance(type_, ty.PrimType):
+        return _SCALAR_TYPES[type_.name]
+    if isinstance(type_, ty.ClassType) and type_.is_enum:
+        return "uchar"
+    raise BackendError(f"no OpenCL type for {type_}")
+
+
+class _FunctionPrinter:
+    """Prints one IR function as an OpenCL C device function."""
+
+    def __init__(self, function: ir.IRFunction):
+        self.function = function
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def print_device_function(self) -> str:
+        f = self.function
+        params = []
+        for p in f.params:
+            if isinstance(p.type, ty.ArrayType):
+                params.append(
+                    f"__global const {cl_type(p.type.element)}* {p.name}"
+                )
+                params.append(f"const int {p.name}_len")
+            else:
+                params.append(f"{cl_type(p.type)} {p.name}")
+        header = (
+            f"static {cl_type(f.return_type)} {mangle(f.qualified_name)}"
+            f"({', '.join(params)})"
+        )
+        self.emit(header + " {")
+        self.indent += 1
+        for stmt in f.body:
+            self._stmt(stmt)
+        self.indent -= 1
+        self.emit("}")
+        return "\n".join(self.lines)
+
+    # -- statements ----------------------------------------------------
+
+    def _stmt(self, stmt: ir.IRStmt) -> None:
+        if isinstance(stmt, ir.SLet):
+            if isinstance(stmt.var_type, ty.ArrayType):
+                raise BackendError("array locals not supported on GPU")
+            self.emit(
+                f"{cl_type(stmt.var_type)} {stmt.name} = "
+                f"{self._expr(stmt.init)};"
+            )
+        elif isinstance(stmt, ir.SAssignLocal):
+            self.emit(f"{stmt.name} = {self._expr(stmt.value)};")
+        elif isinstance(stmt, ir.SIf):
+            self.emit(f"if ({self._expr(stmt.cond)}) {{")
+            self.indent += 1
+            for s in stmt.then:
+                self._stmt(s)
+            self.indent -= 1
+            if stmt.other:
+                self.emit("} else {")
+                self.indent += 1
+                for s in stmt.other:
+                    self._stmt(s)
+                self.indent -= 1
+            self.emit("}")
+        elif isinstance(stmt, ir.SWhile):
+            self.emit(f"while ({self._expr(stmt.cond)}) {{")
+            self.indent += 1
+            for s in stmt.body:
+                self._stmt(s)
+            self.indent -= 1
+            self.emit("}")
+        elif isinstance(stmt, ir.SFor):
+            var = stmt.var
+            self.emit(
+                f"for (int {var} = {self._expr(stmt.start)}; "
+                f"{var} < {self._expr(stmt.limit)}; "
+                f"{var} += {self._expr(stmt.step)}) {{"
+            )
+            self.indent += 1
+            for s in stmt.body:
+                self._stmt(s)
+            self.indent -= 1
+            self.emit("}")
+        elif isinstance(stmt, ir.SReturn):
+            if stmt.value is None:
+                self.emit("return;")
+            else:
+                self.emit(f"return {self._expr(stmt.value)};")
+        elif isinstance(stmt, ir.SBreak):
+            self.emit("break;")
+        elif isinstance(stmt, ir.SContinue):
+            self.emit("continue;")
+        elif isinstance(stmt, ir.SExpr):
+            self.emit(f"(void)({self._expr(stmt.expr)});")
+        else:
+            raise BackendError(
+                f"statement {type(stmt).__name__} not supported on GPU"
+            )
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self, expr: ir.IRExpr) -> str:
+        if isinstance(expr, ir.EConst):
+            return self._const(expr)
+        if isinstance(expr, ir.ELocal):
+            return expr.name
+        if isinstance(expr, ir.EBinary):
+            return (
+                f"({self._expr(expr.left)} {expr.op} "
+                f"{self._expr(expr.right)})"
+            )
+        if isinstance(expr, ir.EUnary):
+            return f"({expr.op}{self._expr(expr.operand)})"
+        if isinstance(expr, ir.ETernary):
+            return (
+                f"({self._expr(expr.cond)} ? {self._expr(expr.then)} : "
+                f"{self._expr(expr.other)})"
+            )
+        if isinstance(expr, ir.ECast):
+            return f"(({cl_type(expr.type)})({self._expr(expr.operand)}))"
+        if isinstance(expr, ir.EIndex):
+            return f"{self._expr(expr.array)}[{self._expr(expr.index)}]"
+        if isinstance(expr, ir.ELength):
+            base = expr.array
+            if isinstance(base, ir.ELocal):
+                return f"{base.name}_len"
+            raise BackendError(".length only on array parameters in kernels")
+        if isinstance(expr, ir.ECall):
+            args = []
+            function_args = expr.args
+            for a in function_args:
+                args.append(self._expr(a))
+                if isinstance(a.type, ty.ArrayType):
+                    # Pass the paired length argument through.
+                    if isinstance(a, ir.ELocal):
+                        args.append(f"{a.name}_len")
+                    else:
+                        raise BackendError(
+                            "array arguments must be parameters"
+                        )
+            return f"{mangle(expr.callee)}({', '.join(args)})"
+        if isinstance(expr, ir.EIntrinsic):
+            return self._intrinsic(expr)
+        raise BackendError(
+            f"expression {type(expr).__name__} not supported on GPU"
+        )
+
+    def _const(self, expr: ir.EConst) -> str:
+        value = expr.value
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, Bit):
+            return str(int(value))
+        if isinstance(value, EnumValue):
+            return str(value.ordinal)
+        if isinstance(value, float):
+            if expr.type == ty.FLOAT:
+                return f"{value!r}f"
+            return repr(value)
+        if isinstance(value, int):
+            if expr.type == ty.LONG:
+                return f"{value}L"
+            return str(value)
+        raise BackendError(f"constant {value!r} not supported on GPU")
+
+    _MATH_MAP = {
+        "Math.sqrt": "sqrt",
+        "Math.exp": "exp",
+        "Math.log": "log",
+        "Math.sin": "sin",
+        "Math.cos": "cos",
+        "Math.tan": "tan",
+        "Math.pow": "pow",
+        "Math.floor": "floor",
+        "Math.ceil": "ceil",
+    }
+
+    def _intrinsic(self, expr: ir.EIntrinsic) -> str:
+        args = [self._expr(a) for a in expr.args]
+        if expr.name == "bit.~":
+            return f"((uchar)(1u ^ {args[0]}))"
+        if expr.name == "Math.abs":
+            fn = "fabs" if expr.type in (ty.FLOAT, ty.DOUBLE) else "abs"
+            return f"{fn}({args[0]})"
+        if expr.name in ("Math.min", "Math.max"):
+            fn = expr.name[5:]
+            if expr.type in (ty.FLOAT, ty.DOUBLE):
+                fn = "f" + fn
+            return f"{fn}({args[0]}, {args[1]})"
+        fn = self._MATH_MAP.get(expr.name)
+        if fn is None:
+            raise BackendError(
+                f"intrinsic {expr.name} not supported on GPU"
+            )
+        return f"{fn}({', '.join(args)})"
+
+
+def _collect_device_functions(module: ir.IRModule, roots: list) -> list:
+    """Transitive callees of the kernel roots in dependency order."""
+    order: list[str] = []
+    seen: set = set()
+
+    def visit(name: str) -> None:
+        if name in seen:
+            return
+        seen.add(name)
+        function = module.functions.get(name)
+        if function is None:
+            return
+        for stmt in ir.walk_stmts(function.body):
+            for expr in ir.stmt_exprs(stmt):
+                for e in ir.walk_expr(expr):
+                    if isinstance(e, ir.ECall):
+                        visit(e.callee)
+        order.append(name)
+
+    for root in roots:
+        visit(root)
+    return order
+
+
+def _uses_double(module: ir.IRModule, names: list) -> bool:
+    for name in names:
+        function = module.functions.get(name)
+        if function is None:
+            continue
+        if function.return_type == ty.DOUBLE:
+            return True
+        if any(p.type == ty.DOUBLE for p in function.params):
+            return True
+        for stmt in ir.walk_stmts(function.body):
+            for expr in ir.stmt_exprs(stmt):
+                for e in ir.walk_expr(expr):
+                    if getattr(e, "type", None) == ty.DOUBLE:
+                        return True
+    return False
+
+
+def _prelude(module: ir.IRModule, names: list) -> list:
+    lines = ["// generated by the Liquid Metal GPU backend"]
+    if _uses_double(module, names):
+        lines.append("#pragma OPENCL EXTENSION cl_khr_fp64 : enable")
+    lines.append("")
+    return lines
+
+
+def generate_map_kernel(
+    module: ir.IRModule, method: str, broadcast: tuple = ()
+) -> str:
+    """OpenCL source for a map over ``method`` (one work-item per
+    element). ``broadcast[i]`` marks parameter i as a whole-value
+    argument shared by all work items (scalar constant or whole array
+    in global memory)."""
+    function = module.functions[method]
+    if not broadcast:
+        broadcast = (False,) * len(function.params)
+    device_functions = _collect_device_functions(module, [method])
+    lines = _prelude(module, device_functions)
+    for name in device_functions:
+        lines.append(_FunctionPrinter(module.functions[name]).print_device_function())
+        lines.append("")
+    params: list = []
+    call_args: list = []
+    for i, (p, is_broadcast) in enumerate(zip(function.params, broadcast)):
+        if is_broadcast and isinstance(p.type, ty.ArrayType):
+            elem = cl_type(p.type.element)
+            params.append(f"__global const {elem}* b{i}")
+            params.append(f"const int b{i}_len")
+            call_args += [f"b{i}", f"b{i}_len"]
+        elif is_broadcast:
+            params.append(f"const {cl_type(p.type)} b{i}")
+            call_args.append(f"b{i}")
+        else:
+            params.append(f"__global const {cl_type(p.type)}* in{i}")
+            call_args.append(f"in{i}[gid]")
+    out_type = cl_type(function.return_type)
+    params.append(f"__global {out_type}* out")
+    params.append("const int n")
+    lines.append(
+        f"__kernel void map_{mangle(method)}({', '.join(params)}) {{"
+    )
+    lines.append("    int gid = get_global_id(0);")
+    lines.append("    if (gid >= n) return;")
+    lines.append(f"    out[gid] = {mangle(method)}({', '.join(call_args)});")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def generate_reduce_kernel(module: ir.IRModule, method: str) -> str:
+    """OpenCL source for a two-stage tree reduction with ``method``."""
+    function = module.functions[method]
+    device_functions = _collect_device_functions(module, [method])
+    lines = _prelude(module, device_functions)
+    for name in device_functions:
+        lines.append(_FunctionPrinter(module.functions[name]).print_device_function())
+        lines.append("")
+    elem = cl_type(function.return_type)
+    fn = mangle(method)
+    lines.extend(
+        [
+            f"__kernel void reduce_{fn}(__global const {elem}* in,",
+            f"                          __global {elem}* out,",
+            "                          const int n,",
+            f"                          __local {elem}* scratch) {{",
+            "    int gid = get_global_id(0);",
+            "    int lid = get_local_id(0);",
+            "    int group = get_group_id(0);",
+            f"    {elem} acc = in[gid < n ? gid : 0];",
+            "    scratch[lid] = acc;",
+            "    barrier(CLK_LOCAL_MEM_FENCE);",
+            "    for (int offset = get_local_size(0) / 2; offset > 0; offset >>= 1) {",
+            "        if (lid < offset && gid + offset < n) {",
+            f"            scratch[lid] = {fn}(scratch[lid], scratch[lid + offset]);",
+            "        }",
+            "        barrier(CLK_LOCAL_MEM_FENCE);",
+            "    }",
+            "    if (lid == 0) out[group] = scratch[0];",
+            "}",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def generate_filter_kernel(module: ir.IRModule, methods: list) -> str:
+    """OpenCL source for a (possibly fused) filter pipeline: each
+    work-item pulls one stream element through every stage."""
+    device_functions = _collect_device_functions(module, methods)
+    lines = _prelude(module, device_functions)
+    for name in device_functions:
+        lines.append(_FunctionPrinter(module.functions[name]).print_device_function())
+        lines.append("")
+    first = module.functions[methods[0]]
+    last = module.functions[methods[-1]]
+    in_type = cl_type(first.params[0].type)
+    out_type = cl_type(last.return_type)
+    kernel_name = "task_" + "__".join(mangle(m) for m in methods)
+    lines.append(
+        f"__kernel void {kernel_name}(__global const {in_type}* in, "
+        f"__global {out_type}* out, const int n) {{"
+    )
+    lines.append("    int gid = get_global_id(0);")
+    lines.append("    if (gid >= n) return;")
+    chain = "in[gid]"
+    for m in methods:
+        chain = f"{mangle(m)}({chain})"
+    lines.append(f"    out[gid] = {chain};")
+    lines.append("}")
+    return "\n".join(lines)

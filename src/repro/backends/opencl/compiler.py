@@ -1,0 +1,203 @@
+"""The GPU device compiler: produces OpenCL artifacts.
+
+It compiles (a) every map/reduce kernel used by the program — "the map
+and reduce operators are exploited heavily for optimizing code for
+co-execution on a GPU" (Section 2.2) — and (b) every eligible
+relocatable filter stage of every statically discovered task graph,
+including fused artifacts for contiguous relocatable regions so the
+runtime's prefer-larger substitution has real choices (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backends import common
+from repro.backends.opencl import codegen
+from repro.backends.opencl.exclusion import exclusion_reasons
+from repro.ir import nodes as ir
+from repro.lime import types as ty
+
+# Types a filter kernel can stream item-by-item.
+_SCALARISH = (ty.PrimType, ty.ClassType)
+
+
+@dataclass
+class GPUKernel:
+    """Payload of one GPU artifact: what the simulator needs to run it."""
+
+    name: str
+    kind: str          # 'map' | 'reduce' | 'filter'
+    methods: list      # qualified method names, pipeline order
+    param_kinds: list  # element Kind per kernel input
+    result_kind: object
+    properties: dict = field(default_factory=dict)
+
+
+def _collect_parallel_ops(module: ir.IRModule):
+    """All (kind, method) pairs used via '@' or '!' anywhere."""
+    ops = []
+    seen = set()
+    for function in module.functions.values():
+        for stmt in ir.walk_stmts(function.body):
+            for expr in ir.stmt_exprs(stmt):
+                for e in ir.walk_expr(expr):
+                    if isinstance(e, ir.EMap):
+                        key = ("map", e.method, tuple(e.broadcast))
+                    elif isinstance(e, ir.EReduce):
+                        key = ("reduce", e.method, ())
+                    else:
+                        continue
+                    if key not in seen:
+                        seen.add(key)
+                        ops.append(key)
+    return ops
+
+
+def _kernel_kinds(function: ir.IRFunction):
+    param_kinds = [p.type.kind() for p in function.params]
+    return param_kinds, function.return_type.kind()
+
+
+class OpenCLBackend:
+    """Compiles the eligible subset of a module to GPU artifacts."""
+
+    device = common.GPU
+
+    def __init__(self, module: ir.IRModule):
+        self.module = module
+        self.artifacts: list[common.Artifact] = []
+        self.exclusions: list[common.Exclusion] = []
+
+    def compile(self) -> "OpenCLBackend":
+        self._compile_parallel_ops()
+        self._compile_task_graphs()
+        return self
+
+    # -- map/reduce kernels ----------------------------------------------
+
+    def _compile_parallel_ops(self) -> None:
+        for kind, method, broadcast in _collect_parallel_ops(self.module):
+            reasons = exclusion_reasons(self.module, method)
+            task_id = f"{kind}:{method}"
+            if reasons:
+                self.exclusions.append(
+                    common.Exclusion(self.device, task_id, "; ".join(reasons))
+                )
+                continue
+            function = self.module.functions[method]
+            param_kinds, result_kind = _kernel_kinds(function)
+            if kind == "map":
+                text = codegen.generate_map_kernel(
+                    self.module, method, broadcast
+                )
+            else:
+                text = codegen.generate_reduce_kernel(self.module, method)
+            kernel = GPUKernel(
+                name=f"{kind}_{codegen.mangle(method)}",
+                kind=kind,
+                methods=[method],
+                param_kinds=param_kinds,
+                result_kind=result_kind,
+                properties={"broadcast": tuple(broadcast)},
+            )
+            manifest = common.Manifest(
+                artifact_id=f"gpu:{task_id}",
+                device=self.device,
+                task_ids=[task_id],
+                source_language="opencl",
+            )
+            self.artifacts.append(
+                common.Artifact(manifest=manifest, payload=kernel, text=text)
+            )
+
+    # -- task-graph filters -------------------------------------------------
+
+    def _compile_task_graphs(self) -> None:
+        for graph in self.module.task_graphs:
+            for start, end in graph.relocation_regions():
+                stages = graph.stages[start : end + 1]
+                eligible = [s for s in stages if self._stage_eligible(s)]
+                for stage in eligible:
+                    self._emit_filter_artifact(graph, [stage])
+                # Fused artifact for the whole region when every stage
+                # qualifies and the region has more than one stage.
+                if len(eligible) == len(stages) and len(stages) > 1:
+                    self._emit_filter_artifact(graph, stages)
+
+    def _stage_eligible(self, stage) -> bool:
+        if stage.stateful:
+            self.exclusions.append(
+                common.Exclusion(
+                    self.device,
+                    stage.task_id,
+                    "stateful task: pipeline state cannot be "
+                    "data-parallelized on the GPU",
+                )
+            )
+            return False
+        if stage.arity != 1:
+            self.exclusions.append(
+                common.Exclusion(
+                    self.device,
+                    stage.task_id,
+                    "multi-input filters are not supported by the GPU "
+                    "backend",
+                )
+            )
+            return False
+        function = self.module.functions.get(stage.method)
+        if function is not None and (
+            any(
+                not isinstance(p.type, _SCALARISH)
+                for p in function.params
+            )
+            or not isinstance(function.return_type, _SCALARISH)
+        ):
+            self.exclusions.append(
+                common.Exclusion(
+                    self.device,
+                    stage.task_id,
+                    "filter streams non-scalar items (chunked sources "
+                    "are not supported by the GPU filter kernels)",
+                )
+            )
+            return False
+        reasons = exclusion_reasons(self.module, stage.method)
+        if reasons:
+            self.exclusions.append(
+                common.Exclusion(
+                    self.device, stage.task_id, "; ".join(reasons)
+                )
+            )
+            return False
+        return True
+
+    def _emit_filter_artifact(self, graph, stages) -> None:
+        methods = [s.method for s in stages]
+        text = codegen.generate_filter_kernel(self.module, methods)
+        first = self.module.functions[methods[0]]
+        last = self.module.functions[methods[-1]]
+        kernel = GPUKernel(
+            name="task_" + "__".join(codegen.mangle(m) for m in methods),
+            kind="filter",
+            methods=methods,
+            param_kinds=[first.params[0].type.kind()],
+            result_kind=last.return_type.kind(),
+        )
+        task_ids = [s.task_id for s in stages]
+        manifest = common.Manifest(
+            artifact_id="gpu:" + "+".join(task_ids),
+            device=self.device,
+            task_ids=task_ids,
+            graph_id=graph.graph_id,
+            source_language="opencl",
+        )
+        self.artifacts.append(
+            common.Artifact(manifest=manifest, payload=kernel, text=text)
+        )
+
+
+def compile_gpu(module: ir.IRModule) -> OpenCLBackend:
+    """Run the GPU backend over a module."""
+    return OpenCLBackend(module).compile()

@@ -1,0 +1,144 @@
+"""GPU backend eligibility analysis.
+
+Section 3: "Each of the device compilers operates autonomously … It
+examines the tasks that make up each task graph and decides whether the
+code that comprises the tasks is suitable for the device. A task
+containing language constructs that are not suitable for the device is
+excluded from further compilation by that backend."
+
+The GPU compiler accepts pure methods over primitive/enum scalars and
+value arrays thereof; it excludes object types, dynamic allocation,
+recursion, I/O, strings, nested data parallelism, and task construction.
+"""
+
+from __future__ import annotations
+
+from repro.ir import nodes as ir
+from repro.lime import types as ty
+
+
+def _type_supported(type_) -> bool:
+    if isinstance(type_, ty.PrimType):
+        return type_.name != "void"
+    if isinstance(type_, ty.ClassType):
+        return type_.is_enum
+    if isinstance(type_, ty.ArrayType):
+        return type_.is_value_array and _type_supported(type_.element)
+    return False
+
+
+def _collect_callees(module: ir.IRModule, method: str, seen: set) -> None:
+    if method in seen:
+        return
+    seen.add(method)
+    function = module.functions.get(method)
+    if function is None:
+        return
+    for stmt in ir.walk_stmts(function.body):
+        for expr in ir.stmt_exprs(stmt):
+            for e in ir.walk_expr(expr):
+                if isinstance(e, ir.ECall):
+                    _collect_callees(module, e.callee, seen)
+
+
+def _has_recursion(module: ir.IRModule, root: str) -> bool:
+    """DFS cycle detection over the call graph reachable from ``root``."""
+    visiting: set = set()
+    done: set = set()
+
+    def visit(name: str) -> bool:
+        if name in visiting:
+            return True
+        if name in done:
+            return False
+        function = module.functions.get(name)
+        if function is None:
+            done.add(name)
+            return False
+        visiting.add(name)
+        for stmt in ir.walk_stmts(function.body):
+            for expr in ir.stmt_exprs(stmt):
+                for e in ir.walk_expr(expr):
+                    if isinstance(e, ir.ECall) and visit(e.callee):
+                        return True
+        visiting.discard(name)
+        done.add(name)
+        return False
+
+    return visit(root)
+
+
+def exclusion_reasons(module: ir.IRModule, method: str) -> list:
+    """Why the GPU backend cannot compile ``method`` as (part of) a
+    kernel. Empty list means eligible."""
+    function = module.functions.get(method)
+    if function is None:
+        return [f"method {method} not found"]
+    reasons: list[str] = []
+    if not function.is_pure:
+        reasons.append("method is not pure (GPU kernels require purity)")
+    if not _type_supported(function.return_type):
+        reasons.append(
+            f"return type {function.return_type} not supported on GPU"
+        )
+    for param in function.params:
+        if not _type_supported(param.type):
+            reasons.append(
+                f"parameter {param.name!r} has unsupported type "
+                f"{param.type}"
+            )
+    if _has_recursion(module, method):
+        reasons.append("recursion is not supported in OpenCL")
+    # Inspect the whole reachable body.
+    reachable: set = set()
+    _collect_callees(module, method, reachable)
+    for name in sorted(reachable):
+        callee = module.functions.get(name)
+        if callee is None:
+            continue
+        reasons.extend(
+            f"in {name}: {r}" for r in _body_reasons(callee)
+        )
+    return reasons
+
+
+def _body_reasons(function: ir.IRFunction) -> list:
+    reasons: list[str] = []
+    for stmt in ir.walk_stmts(function.body):
+        if isinstance(stmt, ir.SGraphStart):
+            reasons.append("task graph construction")
+        for expr in ir.stmt_exprs(stmt):
+            for e in ir.walk_expr(expr):
+                if isinstance(e, ir.ENewArray):
+                    reasons.append(
+                        "dynamic array allocation inside a kernel"
+                    )
+                elif isinstance(e, (ir.ENewObject, ir.EFieldLoad, ir.EThis)):
+                    reasons.append("object types are not supported on GPU")
+                elif isinstance(e, (ir.EMap, ir.EReduce)):
+                    reasons.append("nested data parallelism")
+                elif isinstance(
+                    e,
+                    (
+                        ir.EGraphSource,
+                        ir.EGraphSink,
+                        ir.EGraphTask,
+                        ir.EGraphConnect,
+                    ),
+                ):
+                    reasons.append("task graph construction")
+                elif isinstance(e, ir.EIntrinsic) and e.name in (
+                    "println",
+                    "print",
+                ):
+                    reasons.append("I/O inside a kernel")
+                elif isinstance(e, ir.EStaticLoad):
+                    reasons.append("static state inside a kernel")
+                elif isinstance(e, ir.EConst) and isinstance(e.value, str):
+                    reasons.append("strings are not supported on GPU")
+    # De-duplicate, preserving order.
+    unique: list[str] = []
+    for reason in reasons:
+        if reason not in unique:
+            unique.append(reason)
+    return unique

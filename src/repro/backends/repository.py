@@ -1,0 +1,107 @@
+"""On-disk artifact repository.
+
+Section 1: a device artifact "may either be embedded into the host
+machine code, or it may exist in a repository and identified via a
+unique identifier that is part of the invocation process." This module
+implements the repository form: a directory holding every artifact's
+manifest (JSON), its generated source text (``.cl`` / ``.v``), and its
+executable payload (pickled simulator objects), all keyed by artifact
+identifier. A saved repository reloads into an
+:class:`~repro.backends.common.ArtifactStore` the runtime can use
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+from repro.backends.common import Artifact, ArtifactStore, Exclusion, Manifest
+from repro.errors import BackendError
+
+_INDEX_NAME = "index.json"
+_SOURCE_EXT = {"opencl": ".cl", "verilog": ".v", "java-bytecode": ".class.txt"}
+
+
+def _slug(artifact_id: str) -> str:
+    """Filesystem-safe name for an artifact id."""
+    out = []
+    for ch in artifact_id:
+        out.append(ch if ch.isalnum() or ch in "._-" else "_")
+    return "".join(out)
+
+
+def save_repository(store: ArtifactStore, directory: str) -> str:
+    """Write every artifact (manifest + text + payload) to ``directory``.
+
+    Returns the path of the repository index."""
+    os.makedirs(directory, exist_ok=True)
+    index = {"artifacts": [], "exclusions": []}
+    for artifact in store.all():
+        manifest = artifact.manifest
+        slug = _slug(artifact.artifact_id)
+        entry = {
+            "artifact_id": manifest.artifact_id,
+            "device": manifest.device,
+            "task_ids": manifest.task_ids,
+            "graph_id": manifest.graph_id,
+            "source_language": manifest.source_language,
+            "properties": manifest.properties,
+            "payload_file": f"{slug}.payload",
+        }
+        if artifact.text:
+            ext = _SOURCE_EXT.get(manifest.source_language, ".txt")
+            entry["text_file"] = f"{slug}{ext}"
+            with open(os.path.join(directory, entry["text_file"]), "w") as f:
+                f.write(artifact.text)
+        with open(
+            os.path.join(directory, entry["payload_file"]), "wb"
+        ) as f:
+            pickle.dump(artifact.payload, f)
+        index["artifacts"].append(entry)
+    for exclusion in store.exclusions:
+        index["exclusions"].append(
+            {
+                "device": exclusion.device,
+                "task_id": exclusion.task_id,
+                "reason": exclusion.reason,
+            }
+        )
+    index_path = os.path.join(directory, _INDEX_NAME)
+    with open(index_path, "w") as f:
+        json.dump(index, f, indent=2, default=str)
+    return index_path
+
+
+def load_repository(directory: str) -> ArtifactStore:
+    """Reload a repository written by :func:`save_repository`."""
+    index_path = os.path.join(directory, _INDEX_NAME)
+    if not os.path.exists(index_path):
+        raise BackendError(f"no artifact repository at {directory!r}")
+    with open(index_path) as f:
+        index = json.load(f)
+    store = ArtifactStore()
+    for entry in index["artifacts"]:
+        manifest = Manifest(
+            artifact_id=entry["artifact_id"],
+            device=entry["device"],
+            task_ids=list(entry["task_ids"]),
+            graph_id=entry.get("graph_id"),
+            source_language=entry.get("source_language", ""),
+            properties=dict(entry.get("properties", {})),
+        )
+        with open(
+            os.path.join(directory, entry["payload_file"]), "rb"
+        ) as f:
+            payload = pickle.load(f)
+        text = ""
+        if "text_file" in entry:
+            with open(os.path.join(directory, entry["text_file"])) as f:
+                text = f.read()
+        store.add(Artifact(manifest=manifest, payload=payload, text=text))
+    for entry in index.get("exclusions", []):
+        store.add_exclusion(
+            Exclusion(entry["device"], entry["task_id"], entry["reason"])
+        )
+    return store

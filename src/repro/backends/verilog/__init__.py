@@ -1,0 +1,15 @@
+"""The FPGA backend: behavioral synthesis to Verilog and RTL bundles."""
+
+from repro.backends.verilog.codegen import FPGAModuleBundle, make_bundle
+from repro.backends.verilog.compiler import VerilogBackend, compile_fpga
+from repro.backends.verilog.datapath import DatapathBuilder
+from repro.backends.verilog.testbench import generate_testbench
+
+__all__ = [
+    "DatapathBuilder",
+    "FPGAModuleBundle",
+    "VerilogBackend",
+    "compile_fpga",
+    "generate_testbench",
+    "make_bundle",
+]

@@ -1,0 +1,145 @@
+"""The FPGA device compiler: produces Verilog artifacts.
+
+For every relocatable filter stage of every statically discovered task
+graph it attempts behavioral synthesis via the datapath builder; tasks
+with unsuitable constructs are excluded with a recorded reason
+(Section 3). Contiguous eligible regions additionally get a fused
+module so the prefer-larger substitution has a bigger candidate.
+"""
+
+from __future__ import annotations
+
+from repro.backends import common
+from repro.backends.verilog import codegen
+from repro.backends.verilog.datapath import DatapathBuilder
+from repro.errors import ExclusionNotice
+from repro.ir import nodes as ir
+
+
+class VerilogBackend:
+    device = common.FPGA
+
+    def __init__(
+        self,
+        module: ir.IRModule,
+        pipelined: bool = False,
+        max_stage_depth: "int | None" = None,
+    ):
+        self.module = module
+        self.pipelined = pipelined
+        self.max_stage_depth = max_stage_depth
+        self.builder = DatapathBuilder(module)
+        self.artifacts: list[common.Artifact] = []
+        self.exclusions: list[common.Exclusion] = []
+
+    def compile(self) -> "VerilogBackend":
+        for graph in self.module.task_graphs:
+            for start, end in graph.relocation_regions():
+                stages = graph.stages[start : end + 1]
+                eligible = []
+                for stage in stages:
+                    if self._try_stage(graph, stage):
+                        eligible.append(stage)
+                if len(eligible) == len(stages) and len(stages) > 1:
+                    self._try_fused(graph, stages)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _try_stage(self, graph, stage) -> bool:
+        if stage.stateful:
+            self.exclusions.append(
+                common.Exclusion(
+                    self.device,
+                    stage.task_id,
+                    "stateful task: state registers are future work "
+                    "for the FPGA backend",
+                )
+            )
+            return False
+        if stage.arity != 1:
+            self.exclusions.append(
+                common.Exclusion(
+                    self.device,
+                    stage.task_id,
+                    "multi-input filters are not synthesizable by this "
+                    "backend",
+                )
+            )
+            return False
+        try:
+            datapath = self.builder.build(stage.method)
+        except ExclusionNotice as notice:
+            self.exclusions.append(
+                common.Exclusion(self.device, stage.task_id, notice.reason)
+            )
+            return False
+        bundle = codegen.make_bundle(
+            self.module,
+            [stage.method],
+            datapath,
+            pipelined=self.pipelined,
+            max_stage_depth=self.max_stage_depth,
+        )
+        self._emit(graph, [stage], bundle)
+        return True
+
+    def _try_fused(self, graph, stages) -> None:
+        try:
+            # Chain the datapaths: feed each stage's DAG into the next.
+            first = self.module.functions[stages[0].method]
+            datapath = self.builder.build(stages[0].method)
+            for stage in stages[1:]:
+                datapath = self.builder._inline(
+                    stage.method, [datapath], 0
+                )
+        except ExclusionNotice as notice:
+            self.exclusions.append(
+                common.Exclusion(
+                    self.device,
+                    "+".join(s.task_id for s in stages),
+                    notice.reason,
+                )
+            )
+            return
+        bundle = codegen.make_bundle(
+            self.module,
+            [s.method for s in stages],
+            datapath,
+            pipelined=self.pipelined,
+            max_stage_depth=self.max_stage_depth,
+        )
+        self._emit(graph, list(stages), bundle)
+
+    def _emit(self, graph, stages, bundle) -> None:
+        task_ids = [s.task_id for s in stages]
+        manifest = common.Manifest(
+            artifact_id="fpga:" + "+".join(task_ids),
+            device=self.device,
+            task_ids=task_ids,
+            graph_id=graph.graph_id,
+            source_language="verilog",
+            properties={
+                "luts": bundle.synthesis.luts,
+                "flipflops": bundle.synthesis.flipflops,
+                "brams": bundle.synthesis.brams,
+                "fmax_hz": bundle.synthesis.fmax_hz,
+                "pipelined": bundle.pipelined,
+            },
+        )
+        self.artifacts.append(
+            common.Artifact(
+                manifest=manifest, payload=bundle, text=bundle.verilog()
+            )
+        )
+
+
+def compile_fpga(
+    module: ir.IRModule,
+    pipelined: bool = False,
+    max_stage_depth: "int | None" = None,
+) -> VerilogBackend:
+    """Run the FPGA backend over a module."""
+    return VerilogBackend(
+        module, pipelined=pipelined, max_stage_depth=max_stage_depth
+    ).compile()

@@ -1,0 +1,290 @@
+"""Command-line interface: the design flow of Section 5 without the
+IDE.
+
+Subcommands::
+
+    python -m repro compile  prog.lime            # toolchain report
+    python -m repro run      prog.lime C.m 1 2.5  # execute an entry point
+    python -m repro markers  prog.lime            # IDE-style marker view
+    python -m repro graphs   prog.lime            # discovered task graphs
+    python -m repro disas    prog.lime            # bytecode disassembly
+    python -m repro emit-opencl  prog.lime        # generated OpenCL C
+    python -m repro emit-verilog prog.lime        # generated Verilog
+    python -m repro emit-testbench prog.lime      # self-checking Verilog TB
+    python -m repro format   prog.lime            # pretty-print/normalize
+    python -m repro build    prog.lime -o out/    # on-disk artifact repo
+
+Argument literals accepted by ``run``: ints (``42``), floats (``2.5``),
+booleans (``true``/``false``), bit literals (``110010111b``), and
+comma-joined arrays (``ints:1,2,3`` / ``floats:0.5,1.5`` /
+``bits:1,0,1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler import compile_program, compile_report
+from repro.errors import LiquidMetalError
+
+
+def _parse_value(text: str):
+    from repro.values import (
+        KIND_FLOAT,
+        KIND_INT,
+        Bit,
+        ValueArray,
+        parse_bit_literal,
+    )
+    from repro.values.base import KIND_BIT
+
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text.startswith("ints:"):
+        return ValueArray(
+            KIND_INT, [int(x) for x in text[5:].split(",") if x]
+        )
+    if text.startswith("floats:"):
+        return ValueArray(
+            KIND_FLOAT, [float(x) for x in text[7:].split(",") if x]
+        )
+    if text.startswith("bits:"):
+        return ValueArray(
+            KIND_BIT, [Bit(int(x)) for x in text[5:].split(",") if x]
+        )
+    if text.endswith("b") and all(c in "01" for c in text[:-1]) and text[:-1]:
+        return ValueArray(KIND_BIT, parse_bit_literal(text[:-1]))
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    raise SystemExit(f"cannot parse argument {text!r}")
+
+
+def _compiled(args):
+    with open(args.file) as f:
+        source = f.read()
+    return compile_program(
+        source,
+        filename=args.file,
+        enable_gpu=not args.no_gpu,
+        enable_fpga=not args.no_fpga,
+        fpga_pipelined=args.fpga_pipelined,
+    )
+
+
+def _cmd_compile(args) -> int:
+    print(compile_report(_compiled(args)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+
+    compiled = _compiled(args)
+    policy = SubstitutionPolicy(use_accelerators=not args.cpu_only)
+    runtime = Runtime(compiled, RuntimeConfig(policy=policy))
+    values = [_parse_value(a) for a in args.args]
+    outcome = runtime.run(args.entry, values)
+    if outcome.output:
+        sys.stdout.write(outcome.output)
+    if outcome.value is not None:
+        print(f"result: {outcome.value!r}")
+    if args.profile:
+        print("method profile (inclusive cycles):")
+        for name, calls, cycles in runtime.profile():
+            print(f"  {cycles:>12d}  {calls:>8d} calls  {name}")
+    if args.time:
+        summary = outcome.ledger.summary()
+        print(
+            f"simulated time: {summary['total_s'] * 1e6:.2f} us "
+            f"(host {summary['host_s'] * 1e6:.2f} us, "
+            f"offloads {summary['offload_s'] * 1e6:.2f} us, "
+            f"graphs {summary['graph_s'] * 1e6:.2f} us)"
+        )
+    return 0
+
+
+def _cmd_format(args) -> int:
+    from repro.lime import parse, pretty
+
+    with open(args.file) as f:
+        source = f.read()
+    sys.stdout.write(pretty(parse(source, args.file)))
+    return 0
+
+
+def _cmd_markers(args) -> int:
+    from repro.ide import annotate_source, exclusion_notes
+
+    compiled = _compiled(args)
+    print(annotate_source(compiled))
+    print("\nexclusions:")
+    print(exclusion_notes(compiled))
+    return 0
+
+
+def _cmd_graphs(args) -> int:
+    compiled = _compiled(args)
+    if not compiled.task_graphs:
+        print("(no task graphs discovered statically)")
+        return 0
+    for graph in compiled.task_graphs:
+        print(f"{graph.graph_id}: {graph.describe()}")
+        for stage in graph.stages:
+            artifacts = [
+                a.device
+                for a in compiled.store.for_task(stage.task_id)
+            ]
+            print(
+                f"    {stage.task_id}  "
+                f"[{', '.join(artifacts) or 'bytecode'}]"
+            )
+    return 0
+
+
+def _cmd_testbench(args) -> int:
+    from repro.backends.verilog import generate_testbench
+
+    compiled = _compiled(args)
+    artifacts = compiled.store.for_device("fpga")
+    if not artifacts:
+        print("(no fpga artifacts)", file=sys.stderr)
+        return 1
+    stimulus = _parse_value(args.inputs)
+    for artifact in artifacts:
+        bundle = artifact.payload
+        raw = [bundle.encode(v) for v in stimulus]
+        print(f"// ===== testbench for {artifact.artifact_id} =====")
+        print(generate_testbench(bundle, raw))
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from repro.backends.repository import save_repository
+
+    compiled = _compiled(args)
+    index_path = save_repository(compiled.store, args.output)
+    print(
+        f"wrote {len(compiled.store)} artifacts to {args.output} "
+        f"(index: {index_path})"
+    )
+    return 0
+
+
+def _cmd_disas(args) -> int:
+    compiled = _compiled(args)
+    print(compiled.bytecode_program.disassemble())
+    return 0
+
+
+def _emit(args, device: str) -> int:
+    compiled = _compiled(args)
+    texts = compiled.artifact_texts(device)
+    if not texts:
+        print(f"(no {device} artifacts)", file=sys.stderr)
+        return 1
+    for artifact_id, text in texts.items():
+        print(f"// ===== {artifact_id} =====")
+        print(text)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Liquid Metal compiler and runtime (DAC 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="Lime source file")
+        p.add_argument("--no-gpu", action="store_true")
+        p.add_argument("--no-fpga", action="store_true")
+        p.add_argument("--fpga-pipelined", action="store_true")
+
+    p = sub.add_parser("compile", help="compile and print the report")
+    common(p)
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("run", help="compile and run an entry point")
+    common(p)
+    p.add_argument("entry", help="qualified entry, e.g. Bitflip.taskFlip")
+    p.add_argument("args", nargs="*", help="argument literals")
+    p.add_argument("--cpu-only", action="store_true")
+    p.add_argument("--time", action="store_true", help="print simulated time")
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-method cycle profile",
+    )
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("format", help="pretty-print (normalize) a source file")
+    common(p)
+    p.set_defaults(fn=_cmd_format)
+
+    p = sub.add_parser("markers", help="IDE-style per-line artifact markers")
+    common(p)
+    p.set_defaults(fn=_cmd_markers)
+
+    p = sub.add_parser("graphs", help="list discovered task graphs")
+    common(p)
+    p.set_defaults(fn=_cmd_graphs)
+
+    p = sub.add_parser("disas", help="disassemble the bytecode artifact")
+    common(p)
+    p.set_defaults(fn=_cmd_disas)
+
+    p = sub.add_parser("emit-opencl", help="print generated OpenCL C")
+    common(p)
+    p.set_defaults(fn=lambda a: _emit(a, "gpu"))
+
+    p = sub.add_parser("emit-verilog", help="print generated Verilog")
+    common(p)
+    p.set_defaults(fn=lambda a: _emit(a, "fpga"))
+
+    p = sub.add_parser(
+        "build", help="compile and write an on-disk artifact repository"
+    )
+    common(p)
+    p.add_argument("-o", "--output", required=True, help="repository dir")
+    p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser(
+        "emit-testbench",
+        help="print a self-checking Verilog testbench for each FPGA module",
+    )
+    common(p)
+    p.add_argument(
+        "--inputs",
+        default="ints:1,2,3",
+        help="stimulus literal, e.g. ints:1,2,3 or bits:1,0,1",
+    )
+    p.set_defaults(fn=_cmd_testbench)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except LiquidMetalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

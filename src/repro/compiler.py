@@ -1,0 +1,134 @@
+"""The Liquid Metal compiler driver (Figure 2).
+
+``compile_program`` accepts Lime source and produces a collection of
+artifacts for different architectures: the frontend type-checks,
+performs shallow optimizations and emits bytecode for the *entire*
+program; the backend device compilers (OpenCL for GPUs, Verilog for
+FPGAs) each compile the task sub-graphs they support. The result feeds
+the runtime's artifact store for task substitution.
+
+``compile_report`` renders the textual equivalent of the toolchain
+overview — which tasks got which artifacts and why others were
+excluded (the information the Eclipse IDE plugin surfaces as editor
+markers in Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backends.bytecode.compiler import compile_module, make_cpu_artifact
+from repro.backends.common import Artifact, ArtifactStore
+from repro.backends.opencl.compiler import compile_gpu
+from repro.backends.verilog.compiler import compile_fpga
+from repro.ir import build_ir
+from repro.lime import analyze
+
+
+@dataclass
+class CompileResult:
+    """Everything the compilation produced."""
+
+    source: str
+    checked: object           # CheckedProgram
+    module: object            # IRModule
+    bytecode_artifact: Artifact
+    store: ArtifactStore
+    gpu_backend: object = None
+    fpga_backend: object = None
+    options: dict = field(default_factory=dict)
+
+    @property
+    def bytecode_program(self):
+        return self.bytecode_artifact.payload
+
+    @property
+    def task_graphs(self) -> list:
+        return self.module.task_graphs
+
+    def artifact_texts(self, device: str) -> dict:
+        """Generated source text per artifact id for one device."""
+        return {
+            a.artifact_id: a.text
+            for a in self.store.for_device(device)
+            if a.text
+        }
+
+
+def compile_program(
+    source: str,
+    filename: str = "<lime>",
+    enable_gpu: bool = True,
+    enable_fpga: bool = True,
+    fpga_pipelined: bool = False,
+    fpga_max_stage_depth: "int | None" = None,
+    run_optimizations: bool = True,
+) -> CompileResult:
+    """Run the whole toolchain over Lime source text."""
+    checked = analyze(source, filename)
+    module = build_ir(checked, run_optimizations=run_optimizations)
+    store = ArtifactStore()
+    cpu_artifact = make_cpu_artifact(module)
+    store.add(cpu_artifact)
+    gpu_backend = None
+    fpga_backend = None
+    if enable_gpu:
+        gpu_backend = compile_gpu(module)
+        for artifact in gpu_backend.artifacts:
+            store.add(artifact)
+        for exclusion in gpu_backend.exclusions:
+            store.add_exclusion(exclusion)
+    if enable_fpga:
+        fpga_backend = compile_fpga(
+            module,
+            pipelined=fpga_pipelined,
+            max_stage_depth=fpga_max_stage_depth,
+        )
+        for artifact in fpga_backend.artifacts:
+            store.add(artifact)
+        for exclusion in fpga_backend.exclusions:
+            store.add_exclusion(exclusion)
+    return CompileResult(
+        source=source,
+        checked=checked,
+        module=module,
+        bytecode_artifact=cpu_artifact,
+        store=store,
+        gpu_backend=gpu_backend,
+        fpga_backend=fpga_backend,
+        options={
+            "enable_gpu": enable_gpu,
+            "enable_fpga": enable_fpga,
+            "fpga_pipelined": fpga_pipelined,
+            "fpga_max_stage_depth": fpga_max_stage_depth,
+        },
+    )
+
+
+def compile_report(result: CompileResult) -> str:
+    """Human-readable toolchain summary (Experiment E2)."""
+    lines = ["Liquid Metal compilation report", "=" * 34, ""]
+    lines.append("task graphs:")
+    if not result.task_graphs:
+        lines.append("  (none discovered statically)")
+    for graph in result.task_graphs:
+        lines.append(f"  {graph.graph_id}: {graph.describe()}")
+    lines.append("")
+    lines.append("artifacts:")
+    for artifact in result.store.all():
+        manifest = artifact.manifest
+        tasks = ", ".join(manifest.task_ids) or "(whole program)"
+        lines.append(
+            f"  [{manifest.device:8s}] {manifest.artifact_id}"
+        )
+        lines.append(f"             implements: {tasks}")
+    lines.append("")
+    lines.append("exclusions:")
+    if not result.store.exclusions:
+        lines.append("  (none)")
+    for exclusion in result.store.exclusions:
+        lines.append(
+            f"  [{exclusion.device:8s}] {exclusion.task_id}: "
+            f"{exclusion.reason}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Simulated devices: CPU timing model, GPU simulator, FPGA simulator,
+and host<->device interconnect models."""
+
+from repro.devices.cpu import CPUDevice, CPUSpec
+from repro.devices.interconnect import (
+    ATTACHMENTS,
+    PCIE_GEN2_X8,
+    PCIE_GEN2_X16,
+    UART_921600,
+    Link,
+)
+
+__all__ = [
+    "ATTACHMENTS",
+    "CPUDevice",
+    "CPUSpec",
+    "Link",
+    "PCIE_GEN2_X8",
+    "PCIE_GEN2_X16",
+    "UART_921600",
+]

@@ -1,0 +1,41 @@
+"""CPU device model.
+
+The bytecode interpreter reports abstract cycles whose cost table
+already reflects a JVM executing on a conventional core (bounds checks,
+call frames, interpreter/JIT overheads). The CPU device model converts
+those cycles into simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A conventional host core (think Nehalem/Sandy Bridge class, the
+    hosts used in the paper's era)."""
+
+    name: str = "x86-64 host core (3.0 GHz)"
+    clock_hz: float = 3.0e9
+    ipc: float = 1.0  # abstract cycles are already serialized
+
+
+@dataclass
+class CPUTiming:
+    cycles: int
+    seconds: float
+
+    def __repr__(self) -> str:
+        return f"CPUTiming({self.cycles} cycles, {self.seconds:.6g}s)"
+
+
+class CPUDevice:
+    """Timing conversion for bytecode execution."""
+
+    def __init__(self, spec: CPUSpec | None = None):
+        self.spec = spec or CPUSpec()
+
+    def time_for_cycles(self, cycles: int) -> CPUTiming:
+        seconds = cycles / (self.spec.clock_hz * self.spec.ipc)
+        return CPUTiming(cycles=cycles, seconds=seconds)

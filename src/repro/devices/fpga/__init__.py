@@ -1,0 +1,18 @@
+"""FPGA device: RTL model, cycle simulator, VCD waveforms, synthesis
+estimation."""
+
+from repro.devices.fpga.rtl import Netlist, Signal
+from repro.devices.fpga.simulator import FPGARunResult, FPGASimulator
+from repro.devices.fpga.synthesis import SynthesisReport, estimate, width_of
+from repro.devices.fpga.vcd import VCDWriter
+
+__all__ = [
+    "FPGARunResult",
+    "FPGASimulator",
+    "Netlist",
+    "Signal",
+    "SynthesisReport",
+    "VCDWriter",
+    "estimate",
+    "width_of",
+]

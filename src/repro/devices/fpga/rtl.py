@@ -1,0 +1,161 @@
+"""A small synchronous RTL model: signals, combinational assigns,
+registers, and elaborated netlists.
+
+The Verilog backend elaborates each generated module into a
+:class:`Netlist`; the cycle simulator evaluates combinational logic in
+topological order and commits register updates on each rising clock
+edge, exactly like an HDL simulator in two-phase mode. Combinational
+loops are detected at elaboration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class Signal:
+    """One named wire or register, carrying an unsigned int of ``width``
+    bits (two's-complement reinterpretation happens in the datapath
+    functions)."""
+
+    name: str
+    width: int
+    is_reg: bool = False
+    initial: int = 0
+
+    def mask(self, value: int) -> int:
+        return value & ((1 << self.width) - 1)
+
+
+@dataclass
+class Assign:
+    """Combinational assignment: target <= fn(env) given dependencies."""
+
+    target: str
+    fn: Callable
+    deps: list
+
+
+@dataclass
+class RegUpdate:
+    """Clocked assignment: on posedge, target' = fn(pre-edge env)."""
+
+    target: str
+    fn: Callable
+
+
+class Netlist:
+    """An elaborated module: ports, signals, comb logic, registers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.signals: dict[str, Signal] = {}
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.assigns: list[Assign] = []
+        self.reg_updates: list[RegUpdate] = []
+        self._ordered: Optional[list] = None
+
+    # -- construction -----------------------------------------------------
+
+    def add_input(self, name: str, width: int) -> Signal:
+        signal = Signal(name, width)
+        self.signals[name] = signal
+        self.inputs.append(name)
+        return signal
+
+    def add_output(self, name: str, width: int) -> Signal:
+        signal = Signal(name, width)
+        self.signals[name] = signal
+        self.outputs.append(name)
+        return signal
+
+    def add_wire(self, name: str, width: int) -> Signal:
+        signal = Signal(name, width)
+        self.signals[name] = signal
+        return signal
+
+    def add_reg(self, name: str, width: int, initial: int = 0) -> Signal:
+        signal = Signal(name, width, is_reg=True, initial=initial)
+        self.signals[name] = signal
+        return signal
+
+    def assign(self, target: str, fn: Callable, deps: list) -> None:
+        if target not in self.signals:
+            raise SimulationError(f"assign to undeclared signal {target!r}")
+        if self.signals[target].is_reg:
+            raise SimulationError(
+                f"combinational assign to register {target!r}"
+            )
+        self.assigns.append(Assign(target, fn, deps))
+        self._ordered = None
+
+    def on_clock(self, target: str, fn: Callable) -> None:
+        if not self.signals[target].is_reg:
+            raise SimulationError(
+                f"clocked update of non-register {target!r}"
+            )
+        self.reg_updates.append(RegUpdate(target, fn))
+
+    # -- elaboration checks ------------------------------------------------
+
+    def ordered_assigns(self) -> list:
+        """Topologically ordered combinational assigns; raises on a
+        combinational loop."""
+        if self._ordered is not None:
+            return self._ordered
+        producers = {a.target: a for a in self.assigns}
+        if len(producers) != len(self.assigns):
+            raise SimulationError("multiple drivers for a signal")
+        state = {}  # name -> 0 visiting, 1 done
+        order: list[Assign] = []
+
+        def visit(name: str, chain: tuple) -> None:
+            if name not in producers:
+                return  # input or register: already stable
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(chain + (name,))
+                raise SimulationError(
+                    f"combinational loop in {self.name}: {cycle}"
+                )
+            state[name] = 0
+            for dep in producers[name].deps:
+                visit(dep, chain + (name,))
+            state[name] = 1
+            order.append(producers[name])
+
+        for assign in self.assigns:
+            visit(assign.target, ())
+        self._ordered = order
+        return order
+
+    def initial_state(self) -> dict:
+        """Register (and input) values at reset."""
+        env = {}
+        for signal in self.signals.values():
+            env[signal.name] = signal.initial
+        return env
+
+    def settle(self, env: dict) -> dict:
+        """Evaluate combinational logic given inputs+registers in env."""
+        for assign in self.ordered_assigns():
+            signal = self.signals[assign.target]
+            env[assign.target] = signal.mask(int(assign.fn(env)))
+        return env
+
+    def clock_edge(self, env: dict) -> dict:
+        """Compute the post-edge register file from the settled env."""
+        updates = {}
+        for reg in self.reg_updates:
+            signal = self.signals[reg.target]
+            updates[reg.target] = signal.mask(int(reg.fn(env)))
+        new_env = dict(env)
+        new_env.update(updates)
+        return new_env

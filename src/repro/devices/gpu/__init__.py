@@ -1,0 +1,13 @@
+"""SIMT GPU simulator and Fermi-class timing model."""
+
+from repro.devices.gpu.simulator import GPUExecution, GPUSimulator
+from repro.devices.gpu.timing import GTX580, RADEON_HD6970, GPUSpec, GPUTiming
+
+__all__ = [
+    "GPUExecution",
+    "GPUSimulator",
+    "GPUSpec",
+    "GPUTiming",
+    "GTX580",
+    "RADEON_HD6970",
+]

@@ -1,0 +1,48 @@
+"""Host/accelerator interconnect models.
+
+Section 7 lists the attachments the paper's runtime supports: PCIe
+(Nallatech 280 boards) and UART (Xilinx XUP V5 and Spartan LX9 boards).
+Each link is a latency + bandwidth model applied to the marshaled byte
+stream of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point host<->device link."""
+
+    name: str
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Seconds to move ``num_bytes`` one way (latency + serialization)."""
+        if num_bytes < 0:
+            raise ValueError("negative transfer size")
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+    def round_trip_time(self, bytes_out: int, bytes_back: int) -> float:
+        return self.transfer_time(bytes_out) + self.transfer_time(bytes_back)
+
+
+# PCIe gen2 x8: ~4 GB/s effective, microsecond-scale latency — the GPU
+# and the Nallatech 280 FPGA attachment.
+PCIE_GEN2_X8 = Link("PCIe gen2 x8", 4.0e9, 10e-6)
+
+# PCIe gen2 x16 for the GPU itself.
+PCIE_GEN2_X16 = Link("PCIe gen2 x16", 8.0e9, 10e-6)
+
+# UART at 921600 baud (8N1 → ~92 KB/s) — the XUP V5 / Spartan LX9
+# development-board attachment. Three orders of magnitude slower, which
+# is exactly the contrast Experiment E7 demonstrates.
+UART_921600 = Link("UART 921600 baud", 92_160.0, 1e-3)
+
+ATTACHMENTS = {
+    "pcie-x8": PCIE_GEN2_X8,
+    "pcie-x16": PCIE_GEN2_X16,
+    "uart": UART_921600,
+}

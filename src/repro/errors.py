@@ -1,0 +1,118 @@
+"""Exception hierarchy for the Liquid Metal reproduction.
+
+Every error raised by the compiler, runtime, or device simulators derives
+from :class:`LiquidMetalError` so that callers can catch the whole family
+with one handler while tests can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class LiquidMetalError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourcePosition:
+    """A (line, column) position in a Lime source file.
+
+    Both coordinates are 1-based, matching what editors display.
+    """
+
+    __slots__ = ("line", "column", "filename")
+
+    def __init__(self, line: int, column: int, filename: str = "<lime>"):
+        self.line = line
+        self.column = column
+        self.filename = filename
+
+    def __repr__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourcePosition):
+            return NotImplemented
+        return (self.line, self.column, self.filename) == (
+            other.line,
+            other.column,
+            other.filename,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column, self.filename))
+
+
+class LimeSyntaxError(LiquidMetalError):
+    """Lexical or syntactic error in Lime source code."""
+
+    def __init__(self, message: str, position: SourcePosition | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{position}: {message}"
+        super().__init__(message)
+
+
+class LimeTypeError(LiquidMetalError):
+    """Semantic error: type mismatch, isolation violation, etc."""
+
+    def __init__(self, message: str, position: SourcePosition | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{position}: {message}"
+        super().__init__(message)
+
+
+class IsolationError(LimeTypeError):
+    """Violation of the ``value``/``local`` strong-isolation rules."""
+
+
+class TaskGraphError(LimeTypeError):
+    """A task graph is malformed or its static shape cannot be determined.
+
+    The paper (Section 3) requires that when relocation brackets are
+    present but the compiler fails to determine the shape of the task
+    graph, the programmer is informed at compile time.
+    """
+
+
+class LoweringError(LiquidMetalError):
+    """Internal error while lowering the AST to IR."""
+
+
+class BackendError(LiquidMetalError):
+    """A backend device compiler failed on input it claimed to accept."""
+
+
+class ExclusionNotice(LiquidMetalError):
+    """Raised internally when a backend excludes a task from compilation.
+
+    This is not a user-visible failure: per Section 3 of the paper, a
+    task containing constructs unsuitable for a device is simply
+    excluded from that backend. The notice carries the reason so the
+    compile report can show *why* a device artifact is missing.
+    """
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class RuntimeGraphError(LiquidMetalError):
+    """Error while constructing or executing a runtime task graph."""
+
+
+class MarshalingError(LiquidMetalError):
+    """Error serializing or deserializing a value across the boundary."""
+
+
+class DeviceError(LiquidMetalError):
+    """Error inside a device simulator (GPU, FPGA, interconnect)."""
+
+
+class SimulationError(DeviceError):
+    """The FPGA cycle simulator detected an inconsistency (e.g. a
+    combinational loop or an X-valued control signal)."""
+
+
+class ValueSemanticsError(LiquidMetalError):
+    """Attempt to violate value semantics at run time (e.g. mutating a
+    value array)."""

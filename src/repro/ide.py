@@ -1,0 +1,70 @@
+"""IDE-style views over compilation results (Section 5).
+
+The paper's Eclipse plugin marks source lines for which "the compiler
+generated a device artifact for the corresponding task in the
+relocation brackets" (the green underline at Figure 4's line 18).
+:func:`annotate_source` renders the same information textually: each
+source line prefixed by its number and a marker column showing the
+devices with artifacts for the task expressions on that line.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import CompileResult
+
+_DEVICE_MARKS = {"gpu": "G", "fpga": "F"}
+
+
+def _line_devices(result: CompileResult) -> dict:
+    """Map source line -> set of device kinds with artifacts for a
+    stage whose task expression sits on that line."""
+    lines: dict[int, set] = {}
+    for graph in result.task_graphs:
+        for stage in graph.stages:
+            if stage.position is None:
+                continue
+            devices = {
+                artifact.device
+                for artifact in result.store.for_task(stage.task_id)
+                if artifact.device != "bytecode"
+            }
+            if devices:
+                lines.setdefault(stage.position.line, set()).update(
+                    devices
+                )
+    return lines
+
+
+def annotate_source(result: CompileResult) -> str:
+    """Render the program with per-line device-artifact markers.
+
+    Marker column: ``G`` = GPU artifact, ``F`` = FPGA artifact, ``●``
+    shown when any device artifact exists (the IDE's round marker).
+    """
+    device_lines = _line_devices(result)
+    out = []
+    for number, text in enumerate(result.source.splitlines(), start=1):
+        devices = device_lines.get(number, set())
+        marks = "".join(
+            _DEVICE_MARKS[d] for d in sorted(devices) if d in _DEVICE_MARKS
+        )
+        bullet = "●" if devices else " "
+        out.append(f"{number:4d} {bullet}{marks:<3s}| {text}")
+    legend = (
+        "\n legend: ● task has device artifacts "
+        "(G = OpenCL/GPU, F = Verilog/FPGA)"
+    )
+    return "\n".join(out) + legend
+
+
+def exclusion_notes(result: CompileResult) -> str:
+    """The IDE's problem-view equivalent: why tasks were excluded."""
+    if not result.store.exclusions:
+        return "(no exclusions)"
+    out = []
+    for exclusion in result.store.exclusions:
+        out.append(
+            f"[{exclusion.device}] {exclusion.task_id}\n"
+            f"    {exclusion.reason}"
+        )
+    return "\n".join(out)

@@ -1,0 +1,34 @@
+"""Intermediate representation: function IR, task-graph IR, lowering,
+shape discovery, and shallow optimizations."""
+
+from repro.ir.builder import lower
+from repro.ir.nodes import IRFunction, IRModule
+from repro.ir.optimizations import optimize
+from repro.ir.shape import discover_task_graphs
+from repro.ir.taskgraph import StageIR, TaskGraphIR
+from repro.ir.verifier import verify_module
+
+
+def build_ir(checked, run_optimizations: bool = True) -> IRModule:
+    """Lower a checked program, optimize, verify, and discover task
+    graphs. Verification is an internal consistency check on the
+    lowerer/optimizer output (compiler bugs, not user errors)."""
+    module = lower(checked)
+    if run_optimizations:
+        optimize(module)
+    verify_module(module)
+    discover_task_graphs(module)
+    return module
+
+
+__all__ = [
+    "IRFunction",
+    "IRModule",
+    "StageIR",
+    "TaskGraphIR",
+    "build_ir",
+    "discover_task_graphs",
+    "lower",
+    "optimize",
+    "verify_module",
+]

@@ -1,0 +1,206 @@
+"""Static discovery of task-graph shapes.
+
+Section 3 of the paper: "The compiler discovers the shape and other
+properties of these task graphs statically. As expected, compile-time
+analysis may not discover all possible task graphs that the program
+might build. If the relocation brackets are present and the compiler
+fails to determine the shape of the task graph, the programmer is
+informed at compile time with an appropriate error message."
+
+The analysis symbolically evaluates the *top-level straight-line*
+statements of each global function, tracking which pipeline shape each
+task-typed local holds. Graph construction under control flow (loops,
+branches) defeats the analysis; that is an error when the undiscovered
+graph contains relocation brackets, and merely leaves the graph as a
+bytecode-only dynamic graph otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TaskGraphError
+from repro.ir import nodes as ir
+from repro.ir.taskgraph import StageIR, TaskGraphIR
+
+_GRAPH_EXPRS = (
+    ir.EGraphSource,
+    ir.EGraphSink,
+    ir.EGraphTask,
+    ir.EGraphConnect,
+)
+
+
+def _contains_graph_expr(expr: ir.IRExpr) -> bool:
+    return any(isinstance(e, _GRAPH_EXPRS) for e in ir.walk_expr(expr))
+
+
+def _nested_graph_construction(body: list) -> bool:
+    """True if any graph expression occurs under control flow."""
+    for stmt in body:
+        if isinstance(stmt, ir.SIf):
+            nested = list(ir.walk_stmts(stmt.then)) + list(
+                ir.walk_stmts(stmt.other)
+            )
+        elif isinstance(stmt, (ir.SWhile, ir.SFor)):
+            nested = list(ir.walk_stmts(stmt.body))
+        else:
+            continue
+        for inner in nested:
+            for expr in ir.stmt_exprs(inner):
+                if _contains_graph_expr(expr):
+                    return True
+    return False
+
+
+def _nested_has_relocatable(body: list) -> bool:
+    for stmt in ir.walk_stmts(body):
+        for expr in ir.stmt_exprs(stmt):
+            for e in ir.walk_expr(expr):
+                if isinstance(e, ir.EGraphTask) and e.relocatable:
+                    return True
+    return False
+
+
+class _FunctionShapes:
+    """Shape analysis of one function body."""
+
+    def __init__(self, function: ir.IRFunction):
+        self.function = function
+        self.env: dict[str, list[StageIR]] = {}
+        self.graphs: list[TaskGraphIR] = []
+        self._graph_counter = 0
+        self._stage_counter = 0
+
+    def run(self) -> list:
+        body = self.function.body
+        if _nested_graph_construction(body):
+            # Dynamic graph construction; only an error when relocation
+            # brackets are involved.
+            if _nested_has_relocatable(body):
+                raise TaskGraphError(
+                    f"in {self.function.qualified_name}: cannot "
+                    "statically determine the shape of a task graph "
+                    "built under control flow, but relocation brackets "
+                    "request co-execution — restructure the graph "
+                    "construction into straight-line code"
+                )
+            return []
+        for stmt in body:
+            self._visit(stmt)
+        return self.graphs
+
+    def _visit(self, stmt: ir.IRStmt) -> None:
+        if isinstance(stmt, ir.SLet):
+            if _contains_graph_expr(stmt.init):
+                self.env[stmt.name] = self._eval(stmt.init)
+            return
+        if isinstance(stmt, ir.SAssignLocal):
+            if _contains_graph_expr(stmt.value):
+                self.env[stmt.name] = self._eval(stmt.value)
+            return
+        if isinstance(stmt, ir.SGraphStart):
+            shape = self._eval(stmt.graph)
+            graph = self._register_graph(shape)
+            stmt.graph_id = graph.graph_id
+            return
+        # Straight-line statements with embedded graph expressions that
+        # never reach a start() are legal but produce no static graph.
+
+    def _eval(self, expr: ir.IRExpr) -> list:
+        if isinstance(expr, ir.ELocal):
+            shape = self.env.get(expr.name)
+            if shape is None:
+                if self._expr_relocatable(expr):
+                    raise TaskGraphError(
+                        f"in {self.function.qualified_name}: shape of "
+                        f"task graph in {expr.name!r} cannot be "
+                        "determined statically"
+                    )
+                return []
+            return shape
+        if isinstance(expr, ir.EGraphSource):
+            return [self._stage(expr)]
+        if isinstance(expr, ir.EGraphSink):
+            return [self._stage(expr)]
+        if isinstance(expr, ir.EGraphTask):
+            return [self._stage(expr)]
+        if isinstance(expr, ir.EGraphConnect):
+            return self._eval(expr.left) + self._eval(expr.right)
+        raise TaskGraphError(
+            f"in {self.function.qualified_name}: cannot statically "
+            f"evaluate task expression {type(expr).__name__}"
+        )
+
+    def _expr_relocatable(self, expr: ir.IRExpr) -> bool:
+        return any(
+            isinstance(e, ir.EGraphTask) and e.relocatable
+            for e in ir.walk_expr(expr)
+        )
+
+    def _stage(self, expr: ir.IRExpr) -> StageIR:
+        # Reuse the stage already minted for this syntactic node so that
+        # re-evaluation (an alias used twice) keeps one identity.
+        existing = getattr(expr, "stage_ir", None)
+        if existing is not None:
+            return existing
+        index = self._stage_counter
+        self._stage_counter += 1
+        owner = self.function.qualified_name
+        if isinstance(expr, ir.EGraphSource):
+            stage = StageIR(
+                index=index,
+                kind="source",
+                task_id=f"{owner}/s{index}:source",
+                rate=expr.rate,
+                output_type=expr.element_type,
+            )
+        elif isinstance(expr, ir.EGraphSink):
+            stage = StageIR(
+                index=index,
+                kind="sink",
+                task_id=f"{owner}/s{index}:sink",
+                input_type=expr.element_type,
+            )
+        else:
+            assert isinstance(expr, ir.EGraphTask)
+            stage = StageIR(
+                index=index,
+                kind="filter",
+                task_id=f"{owner}/s{index}:{expr.method}",
+                method=expr.method,
+                arity=expr.arity,
+                relocatable=expr.relocatable,
+                stateful=expr.instance is not None,
+                input_type=expr.input_type,
+                output_type=expr.output_type,
+            )
+        stage.position = getattr(expr, "src_position", None)
+        expr.stage_ir = stage
+        expr.task_id = stage.task_id
+        return stage
+
+    def _register_graph(self, shape: list) -> TaskGraphIR:
+        graph_id = f"{self.function.qualified_name}#g{self._graph_counter}"
+        self._graph_counter += 1
+        graph = TaskGraphIR(
+            graph_id=graph_id,
+            owner_function=self.function.qualified_name,
+            stages=list(shape),
+        )
+        if not graph.is_closed:
+            raise TaskGraphError(
+                f"task graph {graph_id} is not closed "
+                f"({graph.describe() or 'empty'})"
+            )
+        self.graphs.append(graph)
+        return graph
+
+
+def discover_task_graphs(module: ir.IRModule) -> list:
+    """Run shape analysis over every function; annotate the module."""
+    graphs: list[TaskGraphIR] = []
+    for function in module.functions.values():
+        graphs.extend(_FunctionShapes(function).run())
+    module.task_graphs = graphs
+    return graphs

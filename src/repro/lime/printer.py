@@ -1,0 +1,266 @@
+"""Lime source pretty-printer.
+
+Renders an AST back to compilable Lime source. The invariant tests rely
+on is *structural idempotence*: ``parse(pretty(parse(s)))`` produces a
+tree that pretty-prints identically — which also makes the printer a
+handy normalizer for generated or machine-edited Lime code.
+"""
+
+from __future__ import annotations
+
+from repro.lime import ast_nodes as ast
+from repro.values.bits import format_bit_literal
+
+_INDENT = "    "
+
+
+class Printer:
+    def __init__(self):
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(_INDENT * self.depth + text)
+
+    # -- declarations -----------------------------------------------------
+
+    def program(self, program: ast.Program) -> str:
+        for i, cls in enumerate(program.classes):
+            if i:
+                self.lines.append("")
+            self.class_decl(cls)
+        return "\n".join(self.lines) + "\n"
+
+    def class_decl(self, cls: ast.ClassDecl) -> None:
+        mods = " ".join(m for m in cls.modifiers if m != "value")
+        prefix = (mods + " ") if mods else ""
+        if cls.is_enum:
+            self.emit(f"{prefix}value enum {cls.name} {{")
+            self.depth += 1
+            constants = ", ".join(cls.enum_constants)
+            self.emit(constants + (";" if cls.methods else ";"))
+        else:
+            value = "value " if cls.is_value else ""
+            self.emit(f"{prefix}{value}class {cls.name} {{")
+            self.depth += 1
+        for field in cls.fields:
+            self.field_decl(field)
+        for method in cls.methods:
+            self.method_decl(method)
+        self.depth -= 1
+        self.emit("}")
+
+    def field_decl(self, field: ast.FieldDecl) -> None:
+        mods = " ".join(field.modifiers)
+        prefix = (mods + " ") if mods else ""
+        init = f" = {self.expr(field.init)}" if field.init else ""
+        self.emit(f"{prefix}{field.type_syntax} {field.name}{init};")
+
+    def method_decl(self, method: ast.MethodDecl) -> None:
+        mods = " ".join(method.modifiers)
+        prefix = (mods + " ") if mods else ""
+        if method.is_operator:
+            self.emit(
+                f"{prefix}{method.return_type} {method.name} this {{"
+            )
+        elif method.is_constructor:
+            params = ", ".join(
+                f"{p.type_syntax} {p.name}" for p in method.params
+            )
+            self.emit(f"{prefix}{method.name}({params}) {{")
+        else:
+            params = ", ".join(
+                f"{p.type_syntax} {p.name}" for p in method.params
+            )
+            self.emit(
+                f"{prefix}{method.return_type} {method.name}({params}) {{"
+            )
+        self.depth += 1
+        for stmt in method.body.statements:
+            self.stmt(stmt)
+        self.depth -= 1
+        self.emit("}")
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            if not stmt.statements:
+                self.emit("{ }")
+                return
+            self.emit("{")
+            self.depth += 1
+            for inner in stmt.statements:
+                self.stmt(inner)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(stmt, ast.VarDecl):
+            type_text = (
+                "var" if stmt.type_syntax is None else str(stmt.type_syntax)
+            )
+            init = f" = {self.expr(stmt.init)}" if stmt.init else ""
+            self.emit(f"{type_text} {stmt.name}{init};")
+        elif isinstance(stmt, ast.ExprStmt):
+            self.emit(f"{self.expr(stmt.expr)};")
+        elif isinstance(stmt, ast.If):
+            self.emit(f"if ({self.expr(stmt.cond)})")
+            self._nested(stmt.then)
+            if stmt.other is not None:
+                self.emit("else")
+                self._nested(stmt.other)
+        elif isinstance(stmt, ast.While):
+            self.emit(f"while ({self.expr(stmt.cond)})")
+            self._nested(stmt.body)
+        elif isinstance(stmt, ast.For):
+            init = self._inline_stmt(stmt.init) if stmt.init else ""
+            cond = self.expr(stmt.cond) if stmt.cond else ""
+            update = self.expr(stmt.update) if stmt.update else ""
+            self.emit(f"for ({init}; {cond}; {update})")
+            self._nested(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.emit("return;")
+            else:
+                self.emit(f"return {self.expr(stmt.value)};")
+        elif isinstance(stmt, ast.Break):
+            self.emit("break;")
+        elif isinstance(stmt, ast.Continue):
+            self.emit("continue;")
+        else:
+            raise TypeError(f"cannot print {stmt!r}")
+
+    def _nested(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.stmt(stmt)
+        else:
+            self.depth += 1
+            self.stmt(stmt)
+            self.depth -= 1
+
+    def _inline_stmt(self, stmt: ast.Stmt) -> str:
+        if isinstance(stmt, ast.VarDecl):
+            type_text = (
+                "var" if stmt.type_syntax is None else str(stmt.type_syntax)
+            )
+            init = f" = {self.expr(stmt.init)}" if stmt.init else ""
+            return f"{type_text} {stmt.name}{init}"
+        if isinstance(stmt, ast.ExprStmt):
+            return self.expr(stmt.expr)
+        raise TypeError(f"cannot inline {stmt!r}")
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.IntLit):
+            return f"{expr.value}L" if expr.is_long else str(expr.value)
+        if isinstance(expr, ast.FloatLit):
+            if expr.is_double:
+                text = repr(float(expr.value))
+                return text if "." in text or "e" in text else text + ".0"
+            return f"{expr.value!r}f"
+        if isinstance(expr, ast.BoolLit):
+            return "true" if expr.value else "false"
+        if isinstance(expr, ast.BitLit):
+            return format_bit_literal(expr.bits)
+        if isinstance(expr, ast.StringLit):
+            escaped = (
+                expr.value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+            )
+            return f'"{escaped}"'
+        if isinstance(expr, ast.Name):
+            return expr.ident
+        if isinstance(expr, ast.This):
+            return "this"
+        if isinstance(expr, ast.FieldAccess):
+            return f"{self.expr(expr.receiver)}.{expr.name}"
+        if isinstance(expr, ast.Index):
+            return f"{self.expr(expr.array)}[{self.expr(expr.index)}]"
+        if isinstance(expr, ast.Call):
+            args = ", ".join(self.expr(a) for a in expr.args)
+            generics = (
+                "<" + ", ".join(str(t) for t in expr.type_args) + ">"
+                if expr.type_args
+                else ""
+            )
+            if expr.receiver is None:
+                return f"{expr.name}({args})"
+            return f"{self.expr(expr.receiver)}.{generics}{expr.name}({args})"
+        if isinstance(expr, ast.New):
+            if expr.array_length is not None:
+                return (
+                    f"new {expr.type_syntax.name}"
+                    f"[{self.expr(expr.array_length)}]"
+                )
+            args = ", ".join(self.expr(a) for a in expr.args)
+            return f"new {expr.type_syntax}({args})"
+        if isinstance(expr, ast.Unary):
+            if expr.op.endswith("post"):
+                return f"{self.expr(expr.operand)}{expr.op[:2]}"
+            if expr.op.endswith("pre"):
+                return f"{expr.op[:2]}{self.expr(expr.operand)}"
+            return f"{expr.op}{self._paren(expr.operand)}"
+        if isinstance(expr, ast.Binary):
+            return (
+                f"{self._paren(expr.left)} {expr.op} "
+                f"{self._paren(expr.right)}"
+            )
+        if isinstance(expr, ast.Ternary):
+            return (
+                f"{self._paren(expr.cond)} ? {self._paren(expr.then)} : "
+                f"{self._paren(expr.other)}"
+            )
+        if isinstance(expr, ast.Assign):
+            return (
+                f"{self.expr(expr.target)} {expr.op} "
+                f"{self.expr(expr.value)}"
+            )
+        if isinstance(expr, ast.Cast):
+            return f"({expr.type_syntax}) {self._paren(expr.operand)}"
+        if isinstance(expr, ast.MapExpr):
+            args = ", ".join(self.expr(a) for a in expr.args)
+            return f"{expr.receiver} @ {expr.method}({args})"
+        if isinstance(expr, ast.ReduceExpr):
+            args = ", ".join(self.expr(a) for a in expr.args)
+            return f"{expr.receiver} ! {expr.method}({args})"
+        if isinstance(expr, ast.TaskExpr):
+            if expr.receiver is not None:
+                return f"task {expr.receiver}.{expr.method}"
+            return f"task {expr.method}"
+        if isinstance(expr, ast.ConnectExpr):
+            return f"{self._paren(expr.left)} => {self._paren(expr.right)}"
+        if isinstance(expr, ast.RelocExpr):
+            return f"([ {self.expr(expr.inner)} ])"
+        raise TypeError(f"cannot print {expr!r}")
+
+    def _paren(self, expr: ast.Expr) -> str:
+        """Parenthesize anything that is not atomically bound, keeping
+        precedence questions out of the printer entirely."""
+        text = self.expr(expr)
+        atomic = isinstance(
+            expr,
+            (
+                ast.IntLit,
+                ast.FloatLit,
+                ast.BoolLit,
+                ast.BitLit,
+                ast.StringLit,
+                ast.Name,
+                ast.This,
+                ast.FieldAccess,
+                ast.Index,
+                ast.Call,
+                ast.RelocExpr,
+                ast.TaskExpr,
+                ast.MapExpr,
+                ast.ReduceExpr,
+            ),
+        )
+        return text if atomic else f"({text})"
+
+
+def pretty(program: ast.Program) -> str:
+    """Render an AST program as Lime source text."""
+    return Printer().program(program)

@@ -1,0 +1,44 @@
+"""The Liquid Metal runtime: task graphs, scheduling, substitution,
+marshaling, and the co-execution engine."""
+
+from repro.runtime.adaptive import AdaptationRecord, AdaptiveTask
+from repro.runtime.engine import Runtime, RuntimeConfig, RunOutcome
+from repro.runtime.graph import Pipeline
+from repro.runtime.marshaling import BoundaryCosts, MarshalingBoundary
+from repro.runtime.queues import END_OF_STREAM, Connection
+from repro.runtime.scheduler import SequentialScheduler, ThreadedScheduler
+from repro.runtime.substitution import (
+    SubstitutionPolicy,
+    apply_substitutions,
+    plan_substitutions,
+)
+from repro.runtime.tasks import (
+    DeviceTask,
+    FilterTask,
+    SinkTask,
+    SourceTask,
+)
+from repro.runtime.timing import TimingLedger
+
+__all__ = [
+    "AdaptationRecord",
+    "AdaptiveTask",
+    "BoundaryCosts",
+    "Connection",
+    "DeviceTask",
+    "END_OF_STREAM",
+    "FilterTask",
+    "MarshalingBoundary",
+    "Pipeline",
+    "RunOutcome",
+    "Runtime",
+    "RuntimeConfig",
+    "SequentialScheduler",
+    "SinkTask",
+    "SourceTask",
+    "SubstitutionPolicy",
+    "ThreadedScheduler",
+    "TimingLedger",
+    "apply_substitutions",
+    "plan_substitutions",
+]

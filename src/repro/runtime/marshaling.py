@@ -1,0 +1,94 @@
+"""The host/device marshaling boundary (Figure 3).
+
+"The communication steps between the host JVM and the native device
+entail (1) serializing a Lime value to a byte array, (2) crossing the
+JNI boundary, and (3) converting this byte array into a C-style value.
+The return path is a mirror image." (Section 4.3)
+
+The boundary performs the real serialization through the wire format of
+:mod:`repro.values.marshal` (so every offloaded value genuinely round
+trips through bytes) and models the cost of each step; the physical
+link (PCIe/UART) is charged separately via
+:mod:`repro.devices.interconnect`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.interconnect import PCIE_GEN2_X16, Link
+from repro.runtime.timing import TransferRecord
+from repro.values import deserialize, kind_of, serialize, serializer_for
+
+
+@dataclass(frozen=True)
+class BoundaryCosts:
+    """Per-step cost parameters.
+
+    Serialization walks the heap value (slow, object-at-a-time on the
+    JVM side); the JNI crossing is a fixed call overhead plus a bulk
+    copy; the native conversion is a dense unpack (fast)."""
+
+    serialize_fixed_s: float = 0.5e-6
+    serialize_per_byte_s: float = 0.25e-9    # ~4 GB/s dense array walk
+    crossing_fixed_s: float = 2.0e-6         # JNI call overhead
+    crossing_per_byte_s: float = 0.15e-9     # GetPrimitiveArrayCritical copy
+    convert_fixed_s: float = 0.2e-6
+    convert_per_byte_s: float = 0.10e-9      # dense native unpack
+
+
+class MarshalingBoundary:
+    """One host<->device boundary over a given physical link."""
+
+    def __init__(
+        self,
+        link: Link = PCIE_GEN2_X16,
+        costs: BoundaryCosts | None = None,
+    ):
+        self.link = link
+        self.costs = costs or BoundaryCosts()
+        self.log: list[TransferRecord] = []
+
+    # ------------------------------------------------------------------
+
+    def _record(self, direction: str, num_bytes: int) -> TransferRecord:
+        c = self.costs
+        record = TransferRecord(
+            direction=direction,
+            num_bytes=num_bytes,
+            serialize_s=c.serialize_fixed_s + num_bytes * c.serialize_per_byte_s,
+            crossing_s=c.crossing_fixed_s + num_bytes * c.crossing_per_byte_s,
+            convert_s=c.convert_fixed_s + num_bytes * c.convert_per_byte_s,
+            link_s=self.link.transfer_time(num_bytes),
+            link_name=self.link.name,
+        )
+        self.log.append(record)
+        return record
+
+    def to_device(self, value) -> "tuple[bytes, TransferRecord]":
+        """Serialize a Lime value for the device; returns the wire
+        bytes and the timing record. The runtime finds the custom
+        serializer based on the value's data type (Section 4.3)."""
+        serializer = serializer_for(kind_of(value))
+        data = serializer.serialize(value)
+        return data, self._record("to-device", len(data))
+
+    def from_device(self, data: bytes) -> "tuple[object, TransferRecord]":
+        """Deserialize device results back into a heap value."""
+        value = deserialize(data)
+        return value, self._record("from-device", len(data))
+
+    def round_trip(self, value) -> "tuple[object, list]":
+        """Serialize out and back (identity at the device): used by
+        tests and by the Figure 3 benchmark."""
+        data, out_record = self.to_device(value)
+        result, back_record = self.from_device(data)
+        return result, [out_record, back_record]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.total_s for r in self.log)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.num_bytes for r in self.log)

@@ -1,0 +1,86 @@
+"""FIFO connections between runtime tasks.
+
+"A connect operation '=>' creates a FIFO queue between tasks"
+(Section 4.1). The queue is bounded so upstream tasks block when a
+downstream stage is slow, and carries an end-of-stream sentinel so
+graph termination propagates: "the graph execution terminates when the
+last bit produced by the source is consumed by the sink."
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+from typing import Optional
+
+from repro.errors import RuntimeGraphError
+
+
+class EndOfStream:
+    """Sentinel flowing after the last value."""
+
+    _instance: "Optional[EndOfStream]" = None
+
+    def __new__(cls) -> "EndOfStream":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<end-of-stream>"
+
+
+END_OF_STREAM = EndOfStream()
+
+
+class Connection:
+    """A bounded FIFO between a producer task and a consumer task."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise RuntimeGraphError("connection capacity must be >= 1")
+        self._queue: _queue.Queue = _queue.Queue(maxsize=capacity)
+        self.capacity = capacity
+        self.producer = None
+        self.consumer = None
+        self.items_transferred = 0
+
+    def put(self, item) -> None:
+        self._queue.put(item)
+        if item is not END_OF_STREAM:
+            self.items_transferred += 1
+
+    def get(self):
+        return self._queue.get()
+
+    def get_batch(self, count: int) -> "list":
+        """Blockingly read ``count`` items; a premature end-of-stream
+        with a partially filled batch is an error (the upstream closed
+        mid-firing)."""
+        batch = []
+        for _ in range(count):
+            item = self.get()
+            if item is END_OF_STREAM:
+                if batch:
+                    raise RuntimeGraphError(
+                        "stream ended mid-firing: upstream produced "
+                        f"{len(batch)} of {count} required items"
+                    )
+                return [END_OF_STREAM]
+            batch.append(item)
+        return batch
+
+    def close(self) -> None:
+        self.put(END_OF_STREAM)
+
+    def drain(self) -> list:
+        """Non-blocking read of everything currently queued (test aid)."""
+        out = []
+        while True:
+            try:
+                out.append(self._queue.get_nowait())
+            except _queue.Empty:
+                return out
+
+    @property
+    def approximate_depth(self) -> int:
+        return self._queue.qsize()

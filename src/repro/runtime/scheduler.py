@@ -1,0 +1,86 @@
+"""Task-graph schedulers.
+
+The paper's runtime "creates a thread for each task. These threads will
+block on the incoming connections until enough data is available"
+(Section 4.1) — that is :class:`ThreadedScheduler`. The deterministic
+:class:`SequentialScheduler` runs the pipeline stage-by-stage over the
+whole batch; for linear pipelines the two are observationally
+equivalent, and the sequential one is reproducible to the cycle, which
+the benchmark harness prefers.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import RuntimeGraphError
+from repro.runtime.graph import Pipeline
+from repro.runtime.tasks import ExecutionContext
+
+
+class SequentialScheduler:
+    """Runs each stage to completion over the whole stream."""
+
+    name = "sequential"
+
+    def start(self, pipeline: Pipeline, ctx: ExecutionContext) -> None:
+        # Sequential execution cannot be detached; run to completion.
+        self.run_to_completion(pipeline, ctx)
+
+    def run_to_completion(self, pipeline: Pipeline, ctx: ExecutionContext) -> None:
+        pipeline.validate()
+        items: list = []
+        for task in pipeline.tasks:
+            items = task.process_batch(items, ctx)
+        pipeline.started = True
+
+    def join(self, pipeline: Pipeline) -> None:
+        if not pipeline.started:
+            raise RuntimeGraphError("graph was never started")
+
+
+class ThreadedScheduler:
+    """One thread per task, blocking FIFO connections in between."""
+
+    name = "threaded"
+
+    def __init__(self, queue_capacity: int = 64):
+        self.queue_capacity = queue_capacity
+
+    def start(self, pipeline: Pipeline, ctx: ExecutionContext) -> None:
+        pipeline.validate()
+        pipeline.wire(self.queue_capacity)
+        errors: list = []
+
+        def runner(task):
+            try:
+                task.run(ctx)
+            except BaseException as exc:  # propagate to finish()
+                errors.append(exc)
+                # Unblock downstream by closing our output if any.
+                if task.output_conn is not None:
+                    task.output_conn.close()
+
+        pipeline.threads = [
+            threading.Thread(
+                target=runner, args=(task,), name=f"lime-{task.task_id}"
+            )
+            for task in pipeline.tasks
+        ]
+        pipeline._errors = errors
+        for thread in pipeline.threads:
+            thread.start()
+        pipeline.started = True
+
+    def run_to_completion(self, pipeline: Pipeline, ctx: ExecutionContext) -> None:
+        self.start(pipeline, ctx)
+        self.join(pipeline)
+
+    def join(self, pipeline: Pipeline) -> None:
+        if not pipeline.started:
+            raise RuntimeGraphError("graph was never started")
+        for thread in pipeline.threads:
+            thread.join()
+        errors = getattr(pipeline, "_errors", [])
+        if errors:
+            raise errors[0]

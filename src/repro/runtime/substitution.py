@@ -1,0 +1,154 @@
+"""Task substitution (Section 4.2).
+
+"For each task (sub)graph that has an alternative implementation, the
+runtime is in a position to perform a substitution. At present, the
+runtime algorithm for doing this substitution is primitive: it prefers
+a larger substitution to a smaller one. It also favors GPU and FPGA
+artifacts to bytecode although that choice can be manually directed."
+
+:class:`SubstitutionPolicy` implements exactly that primitive
+algorithm, plus the manual direction hook, plus (as an ablation, and as
+the paper's future-work direction) an optional communication-aware mode
+that rejects substitutions whose transfer cost would exceed the
+estimated compute benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backends.common import BYTECODE, FPGA, GPU, ArtifactStore
+from repro.runtime.graph import Pipeline
+from repro.runtime.tasks import DeviceTask
+
+
+@dataclass
+class SubstitutionPolicy:
+    """Controls which artifacts the runtime substitutes."""
+
+    use_accelerators: bool = True
+    # Preference order among accelerators when spans tie on size.
+    device_order: tuple = (GPU, FPGA)
+    # Manual direction: task_id -> device kind ('bytecode' pins a task
+    # to the CPU; 'gpu'/'fpga' restricts it to that device).
+    directives: dict = field(default_factory=dict)
+    # Prefer larger substitutions (the paper's primitive algorithm).
+    # Disabling this prefers the smallest candidates — ablation E6.
+    prefer_larger: bool = True
+    # Communication-aware mode (paper future work): skip a substitution
+    # when the modeled transfer time exceeds benefit_ratio x the
+    # estimated CPU compute time of the covered span.
+    communication_aware: bool = False
+    benefit_ratio: float = 1.0
+    # Runtime adaptation (paper future work): substitute an adaptive
+    # task that probes CPU vs device online and migrates to the winner.
+    adaptive: bool = False
+
+    def allows(self, artifact, covered_ids: list) -> bool:
+        for task_id in covered_ids:
+            directive = self.directives.get(task_id)
+            if directive is None:
+                continue
+            if directive == BYTECODE:
+                return False
+            if directive != artifact.device:
+                return False
+        return True
+
+
+@dataclass
+class SubstitutionDecision:
+    artifact_id: str
+    device: str
+    start_index: int
+    covered_task_ids: list
+    reason: str = ""
+
+
+def plan_substitutions(
+    pipeline: Pipeline,
+    store: ArtifactStore,
+    policy: SubstitutionPolicy,
+    cost_estimator=None,
+) -> list:
+    """Choose non-overlapping artifact substitutions for a pipeline.
+
+    Returns a list of :class:`SubstitutionDecision` ordered by start
+    index. ``cost_estimator(artifact, covered_ids) -> (transfer_s,
+    cpu_s)`` enables the communication-aware mode.
+    """
+    if not policy.use_accelerators:
+        return []
+    task_ids = pipeline.task_ids()
+    candidates = []
+    for rank, device in enumerate(policy.device_order):
+        for start, artifact in store.spans(task_ids, device):
+            covered = artifact.manifest.task_ids
+            if not policy.allows(artifact, covered):
+                continue
+            candidates.append((len(covered), -rank, start, artifact))
+    # Primitive algorithm: prefer larger; ties by device order, then
+    # leftmost.
+    candidates.sort(
+        key=lambda c: (c[0] if policy.prefer_larger else -c[0], c[1], -c[2]),
+        reverse=True,
+    )
+    taken: set = set()
+    decisions: list[SubstitutionDecision] = []
+    for size, _, start, artifact in candidates:
+        span = set(range(start, start + size))
+        if span & taken:
+            continue
+        covered = artifact.manifest.task_ids
+        if policy.communication_aware and cost_estimator is not None:
+            transfer_s, cpu_s = cost_estimator(artifact, covered)
+            if transfer_s > policy.benefit_ratio * cpu_s:
+                decisions_reason = (
+                    f"rejected: transfer {transfer_s:.3g}s exceeds "
+                    f"{policy.benefit_ratio}x cpu {cpu_s:.3g}s"
+                )
+                continue
+        taken |= span
+        decisions.append(
+            SubstitutionDecision(
+                artifact_id=artifact.artifact_id,
+                device=artifact.device,
+                start_index=start,
+                covered_task_ids=list(covered),
+            )
+        )
+    decisions.sort(key=lambda d: d.start_index)
+    return decisions
+
+
+def apply_substitutions(
+    pipeline: Pipeline,
+    decisions: list,
+    store: ArtifactStore,
+    executor_factory,
+) -> Pipeline:
+    """Rebuild the pipeline with device tasks in place of the covered
+    spans. ``executor_factory(artifact) -> callable`` supplies each
+    device task's executor."""
+    if not decisions:
+        return pipeline
+    new_tasks = []
+    index = 0
+    by_start = {d.start_index: d for d in decisions}
+    while index < len(pipeline.tasks):
+        decision = by_start.get(index)
+        if decision is None:
+            new_tasks.append(pipeline.tasks[index])
+            index += 1
+            continue
+        artifact = store.lookup(decision.artifact_id)
+        new_tasks.append(
+            DeviceTask(
+                artifact_id=decision.artifact_id,
+                device=decision.device,
+                covered_task_ids=decision.covered_task_ids,
+                executor=executor_factory(artifact),
+            )
+        )
+        index += len(decision.covered_task_ids)
+    return Pipeline(new_tasks)

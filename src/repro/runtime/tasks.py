@@ -1,0 +1,260 @@
+"""Runtime task classes.
+
+"The runtime contains a class for every distinct kind of task that can
+arise in the Lime language (e.g., sources, sinks, filters)"
+(Section 4.1). :class:`DeviceTask` is the product of task substitution:
+a stage (or fused span of stages) executing on an accelerator behind
+the marshaling boundary.
+
+Each task supports two execution modes: ``process_batch`` for the
+deterministic sequential scheduler, and ``run`` for the thread-per-task
+scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import RuntimeGraphError
+from repro.runtime.queues import END_OF_STREAM, Connection
+from repro.values import MutableArray, ValueArray
+
+
+class ExecutionContext:
+    """What tasks need while executing: the engine's interpreter (with
+    cycle metering) and the current graph's timing record."""
+
+    def __init__(self, engine, graph_run):
+        self.engine = engine
+        self.graph_run = graph_run
+
+    def invoke(self, method: str, args: list):
+        """Call a compiled method; returns (value, abstract cycles)."""
+        return self.engine.metered_call(method, args)
+
+    def seconds_for_cycles(self, cycles: int) -> float:
+        return self.engine.ledger.cycles_to_seconds(cycles)
+
+
+class Task:
+    kind = "task"
+    device = "bytecode"
+
+    def __init__(self, task_id: Optional[str]):
+        self.task_id = task_id or f"dynamic:{id(self)}"
+        self.input_conn: Optional[Connection] = None
+        self.output_conn: Optional[Connection] = None
+
+    # Sequential mode ------------------------------------------------------
+
+    def process_batch(self, items: list, ctx: ExecutionContext) -> list:
+        raise NotImplementedError
+
+    # Threaded mode --------------------------------------------------------
+
+    def run(self, ctx: ExecutionContext) -> None:
+        raise NotImplementedError
+
+    def _stage(self, ctx: ExecutionContext):
+        return ctx.graph_run.stage(self.task_id, self.device)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.task_id}>"
+
+
+# Per-item runtime overheads (abstract CPU cycles) for the host-side
+# queue handling of each stage.
+_QUEUE_CYCLES = 30
+
+
+class SourceTask(Task):
+    """Produces the elements of a value array, ``rate`` items per
+    firing (Figure 1, line 17: ``input.source(1)``)."""
+
+    kind = "source"
+
+    def __init__(self, array: ValueArray, rate: int, task_id=None):
+        super().__init__(task_id)
+        if not isinstance(array, ValueArray):
+            raise RuntimeGraphError(
+                "source() requires a value array at run time"
+            )
+        self.array = array
+        self.rate = max(rate, 1)
+
+    def emit_items(self) -> list:
+        if self.rate == 1:
+            return list(self.array)
+        return [
+            self.array[i : i + self.rate]
+            for i in range(0, len(self.array), self.rate)
+        ]
+
+    def process_batch(self, items, ctx):
+        out = self.emit_items()
+        stage = self._stage(ctx)
+        stage.items += len(out)
+        stage.busy_s += ctx.seconds_for_cycles(_QUEUE_CYCLES * len(out))
+        return out
+
+    def run(self, ctx):
+        stage = self._stage(ctx)
+        for item in self.emit_items():
+            self.output_conn.put(item)
+            stage.items += 1
+        stage.busy_s += ctx.seconds_for_cycles(_QUEUE_CYCLES * stage.items)
+        self.output_conn.close()
+
+
+class SinkTask(Task):
+    """Accumulates stream items into a mutable array (Figure 1,
+    line 19: ``result.<bit>sink()``)."""
+
+    kind = "sink"
+
+    def __init__(self, array: MutableArray, task_id=None):
+        super().__init__(task_id)
+        if not isinstance(array, MutableArray):
+            raise RuntimeGraphError(
+                "sink() requires a mutable array at run time"
+            )
+        self.array = array
+        self._index = 0
+
+    def _store(self, item) -> None:
+        if self._index >= len(self.array):
+            raise RuntimeGraphError(
+                f"sink overflow: array of length {len(self.array)} "
+                f"cannot take item #{self._index + 1}"
+            )
+        self.array[self._index] = item
+        self._index += 1
+
+    def process_batch(self, items, ctx):
+        stage = self._stage(ctx)
+        for item in items:
+            self._store(item)
+        stage.items += len(items)
+        stage.busy_s += ctx.seconds_for_cycles(_QUEUE_CYCLES * len(items))
+        return []
+
+    def run(self, ctx):
+        stage = self._stage(ctx)
+        while True:
+            item = self.input_conn.get()
+            if item is END_OF_STREAM:
+                break
+            self._store(item)
+            stage.items += 1
+        stage.busy_s += ctx.seconds_for_cycles(_QUEUE_CYCLES * stage.items)
+
+
+class FilterTask(Task):
+    """An inner task: repeatedly applies a local method, consuming
+    ``arity`` items per firing (Section 2.2: the actor fires "when the
+    port contains sufficient data to satisfy the argument requirements
+    of the method")."""
+
+    kind = "filter"
+
+    def __init__(self, method: str, arity: int = 1, task_id=None,
+                 relocatable: bool = False, instance=None):
+        super().__init__(task_id)
+        self.method = method
+        self.arity = max(arity, 1)
+        self.relocatable = relocatable
+        # Stateful tasks (Section 2.1): the isolating-constructor-built
+        # instance that carries the pipeline state across firings.
+        self.instance = instance
+
+    def _call_args(self, batch: list) -> list:
+        if self.instance is not None:
+            return [self.instance] + list(batch)
+        return list(batch)
+
+    def process_batch(self, items, ctx):
+        stage = self._stage(ctx)
+        out = []
+        if len(items) % self.arity:
+            raise RuntimeGraphError(
+                f"filter {self.method} requires groups of {self.arity} "
+                f"items; {len(items)} provided"
+            )
+        cycles = 0
+        for i in range(0, len(items), self.arity):
+            value, used = ctx.invoke(
+                self.method, self._call_args(items[i : i + self.arity])
+            )
+            cycles += used + _QUEUE_CYCLES
+            out.append(value)
+        stage.items += len(out)
+        stage.busy_s += ctx.seconds_for_cycles(cycles)
+        return out
+
+    def run(self, ctx):
+        stage = self._stage(ctx)
+        cycles = 0
+        while True:
+            batch = self.input_conn.get_batch(self.arity)
+            if batch and batch[0] is END_OF_STREAM:
+                break
+            value, used = ctx.invoke(self.method, self._call_args(batch))
+            cycles += used + _QUEUE_CYCLES
+            self.output_conn.put(value)
+            stage.items += 1
+        stage.busy_s += ctx.seconds_for_cycles(cycles)
+        self.output_conn.close()
+
+
+class DeviceTask(Task):
+    """A substituted span of filters running on an accelerator.
+
+    ``executor`` is provided by the engine when the substitution is
+    performed; it takes a list of items and returns
+    ``(outputs, busy_seconds)`` with marshaling and kernel/RTL time
+    already recorded in the ledger.
+    """
+
+    kind = "device"
+
+    def __init__(
+        self,
+        artifact_id: str,
+        device: str,
+        covered_task_ids: list,
+        executor: Callable,
+        batch_size: int = 4096,
+    ):
+        super().__init__(artifact_id)
+        self.device = device
+        self.covered_task_ids = list(covered_task_ids)
+        self.executor = executor
+        self.batch_size = batch_size
+
+    def process_batch(self, items, ctx):
+        stage = self._stage(ctx)
+        if not items:
+            return []
+        outputs, seconds = self.executor(items)
+        stage.items += len(outputs)
+        stage.busy_s += seconds
+        return list(outputs)
+
+    def run(self, ctx):
+        stage = self._stage(ctx)
+        done = False
+        while not done:
+            batch = []
+            while len(batch) < self.batch_size:
+                item = self.input_conn.get()
+                if item is END_OF_STREAM:
+                    done = True
+                    break
+                batch.append(item)
+            if batch:
+                outputs, seconds = self.executor(batch)
+                stage.busy_s += seconds
+                stage.items += len(outputs)
+                for value in outputs:
+                    self.output_conn.put(value)
+        self.output_conn.close()

@@ -1,0 +1,170 @@
+"""The simulated-time ledger.
+
+Execution in this reproduction is always functionally real (every value
+is computed), while *time* is modeled: the bytecode interpreter reports
+abstract CPU cycles, the GPU simulator reports kernel times, the FPGA
+simulator reports cycles at its synthesized clock, and the marshaling
+boundary reports per-step transfer costs. The ledger aggregates these
+into an end-to-end simulated time.
+
+For task graphs the stages run concurrently (a thread per task,
+Section 4.1), so a graph's wall time is modeled as the slowest stage's
+busy time plus the pipeline fill latency — the standard steady-state
+pipeline approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TransferRecord:
+    """One host<->device crossing (Figure 3's three steps plus the
+    physical link)."""
+
+    direction: str          # 'to-device' | 'from-device'
+    num_bytes: int
+    serialize_s: float      # Lime value -> byte array
+    crossing_s: float       # JNI boundary
+    convert_s: float        # byte array -> packed C value (or back)
+    link_s: float           # DMA over PCIe / UART
+    link_name: str = ""
+
+    @property
+    def total_s(self) -> float:
+        return self.serialize_s + self.crossing_s + self.convert_s + self.link_s
+
+
+@dataclass
+class OffloadRecord:
+    """One data-parallel offload (map/reduce) or device batch run."""
+
+    kind: str               # 'map' | 'reduce' | 'filter-batch'
+    target: str             # method or artifact id
+    device: str
+    items: int
+    kernel_s: float
+    transfers: list = field(default_factory=list)
+    # Kernel-time breakdown (for scale extrapolation): fixed launch
+    # overhead vs compute (scales with items x work) vs memory
+    # (scales with items).
+    launch_s: float = 0.0
+    compute_s: float = 0.0
+    memory_s: float = 0.0
+    # True when this offload ran inside a task-graph stage: its time is
+    # already accounted by the graph's pipeline model, so the ledger
+    # excludes it from the standalone offload total.
+    in_graph: bool = False
+
+    @property
+    def transfer_s(self) -> float:
+        return sum(t.total_s for t in self.transfers)
+
+    @property
+    def total_s(self) -> float:
+        return self.kernel_s + self.transfer_s
+
+
+@dataclass
+class StageTime:
+    task_id: str
+    device: str
+    busy_s: float = 0.0
+    items: int = 0
+
+
+@dataclass
+class GraphRun:
+    """Timing of one task-graph execution."""
+
+    graph_id: str
+    stages: dict = field(default_factory=dict)   # task_id -> StageTime
+    fill_latency_s: float = 0.0
+
+    def stage(self, task_id: str, device: str) -> StageTime:
+        if task_id not in self.stages:
+            self.stages[task_id] = StageTime(task_id, device)
+        return self.stages[task_id]
+
+    @property
+    def wall_s(self) -> float:
+        """Pipeline steady-state model: the slowest *resource*
+        dominates. Bytecode stages each run on their own host thread
+        (the paper's thread-per-task scheduler on a multicore host), so
+        they overlap; stages substituted onto the same accelerator
+        share that device and serialize."""
+        device_busy: dict = {}
+        slowest = 0.0
+        for stage in self.stages.values():
+            if stage.device == "bytecode":
+                slowest = max(slowest, stage.busy_s)
+            else:
+                device_busy[stage.device] = (
+                    device_busy.get(stage.device, 0.0) + stage.busy_s
+                )
+        for busy in device_busy.values():
+            slowest = max(slowest, busy)
+        return slowest + self.fill_latency_s
+
+    @property
+    def total_work_s(self) -> float:
+        return sum(s.busy_s for s in self.stages.values())
+
+
+class TimingLedger:
+    """Aggregated simulated time for one runtime invocation."""
+
+    def __init__(self, cpu_clock_hz: float = 3.0e9):
+        self.cpu_clock_hz = cpu_clock_hz
+        self.host_cycles = 0
+        self.offloads: list[OffloadRecord] = []
+        self.graph_runs: list[GraphRun] = []
+
+    # -- recording -------------------------------------------------------
+
+    def add_host_cycles(self, cycles: int) -> None:
+        self.host_cycles += cycles
+
+    def add_offload(self, record: OffloadRecord) -> None:
+        self.offloads.append(record)
+
+    def new_graph_run(self, graph_id: str) -> GraphRun:
+        run = GraphRun(graph_id)
+        self.graph_runs.append(run)
+        return run
+
+    # -- aggregation -------------------------------------------------------
+
+    @property
+    def host_s(self) -> float:
+        return self.host_cycles / self.cpu_clock_hz
+
+    @property
+    def offload_s(self) -> float:
+        """Blocking offload time outside task graphs (in-graph device
+        batches are covered by the graph pipeline model)."""
+        return sum(o.total_s for o in self.offloads if not o.in_graph)
+
+    @property
+    def graph_s(self) -> float:
+        return sum(run.wall_s for run in self.graph_runs)
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end simulated time: host execution plus blocking
+        offloads plus graph executions."""
+        return self.host_s + self.offload_s + self.graph_s
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles / self.cpu_clock_hz
+
+    def summary(self) -> dict:
+        return {
+            "host_s": self.host_s,
+            "offload_s": self.offload_s,
+            "graph_s": self.graph_s,
+            "total_s": self.total_s,
+            "offloads": len(self.offloads),
+            "graph_runs": len(self.graph_runs),
+        }

@@ -1,0 +1,59 @@
+"""Runtime value model for Lime: bits, value arrays, enums, wire format."""
+
+from repro.values.arrays import MutableArray, ValueArray
+from repro.values.base import (
+    KIND_BIT,
+    KIND_BOOLEAN,
+    KIND_DOUBLE,
+    KIND_FLOAT,
+    KIND_INT,
+    KIND_LONG,
+    Kind,
+    array_kind,
+    default_value,
+    enum_kind,
+    is_value,
+    kind_of,
+)
+from repro.values.bits import (
+    Bit,
+    bits_to_int,
+    format_bit_literal,
+    int_to_bits,
+    parse_bit_literal,
+)
+from repro.values.enums import EnumDescriptor, EnumValue
+from repro.values.marshal import (
+    Serializer,
+    deserialize,
+    serialize,
+    serializer_for,
+)
+
+__all__ = [
+    "Bit",
+    "EnumDescriptor",
+    "EnumValue",
+    "Kind",
+    "KIND_BIT",
+    "KIND_BOOLEAN",
+    "KIND_DOUBLE",
+    "KIND_FLOAT",
+    "KIND_INT",
+    "KIND_LONG",
+    "MutableArray",
+    "Serializer",
+    "ValueArray",
+    "array_kind",
+    "bits_to_int",
+    "default_value",
+    "deserialize",
+    "enum_kind",
+    "format_bit_literal",
+    "int_to_bits",
+    "is_value",
+    "kind_of",
+    "parse_bit_literal",
+    "serialize",
+    "serializer_for",
+]

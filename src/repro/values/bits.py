@@ -1,0 +1,142 @@
+"""The Lime ``bit`` type and bit literals.
+
+Figure 1 of the paper defines ``bit`` as a value enum with constants
+``zero`` and ``one`` and an unary ``~`` method. Bit data is a first-class
+citizen in Lime because of its prevalence in FPGA designs; the language
+provides *bit literals* such as ``100b`` — a 3-bit array with
+``bit[0] = 0`` and ``bit[2] = 1`` (i.e. the literal is written MSB
+first, and indexing is LSB first).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ValueSemanticsError
+
+
+class Bit:
+    """An immutable single bit. Exactly two instances exist.
+
+    ``Bit.ZERO`` and ``Bit.ONE`` are interned; identity comparison is
+    therefore safe, though ``==`` is also defined. ``~b`` flips the bit,
+    mirroring the ``~`` operator method in the paper's Figure 1.
+    """
+
+    __slots__ = ("_v",)
+    ZERO: "Bit"
+    ONE: "Bit"
+    _interned: "dict[int, Bit]" = {}
+
+    def __new__(cls, v: int) -> "Bit":
+        v = int(v) & 1
+        cached = cls._interned.get(v)
+        if cached is not None:
+            return cached
+        obj = super().__new__(cls)
+        object.__setattr__(obj, "_v", v)
+        cls._interned[v] = obj
+        return obj
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise ValueSemanticsError("bit values are immutable")
+
+    def __reduce__(self):
+        # Interned singletons round-trip through pickle via __new__.
+        return (Bit, (self._v,))
+
+    def __int__(self) -> int:
+        return self._v
+
+    def __bool__(self) -> bool:
+        return bool(self._v)
+
+    def __invert__(self) -> "Bit":
+        return Bit(1 - self._v)
+
+    def __and__(self, other: "Bit") -> "Bit":
+        return Bit(self._v & int(other))
+
+    def __or__(self, other: "Bit") -> "Bit":
+        return Bit(self._v | int(other))
+
+    def __xor__(self, other: "Bit") -> "Bit":
+        return Bit(self._v ^ int(other))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bit):
+            return self._v == other._v
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("bit", self._v))
+
+    def __repr__(self) -> str:
+        return "one" if self._v else "zero"
+
+    @property
+    def ordinal(self) -> int:
+        """Ordinal within the ``bit`` enum: zero = 0, one = 1."""
+        return self._v
+
+
+Bit.ZERO = Bit(0)
+Bit.ONE = Bit(1)
+
+
+def parse_bit_literal(text: str) -> "tuple[Bit, ...]":
+    """Parse a Lime bit literal body (without validation of the suffix).
+
+    ``"100"`` -> (zero, zero, one): the literal is written most
+    significant bit first, but element 0 of the resulting array is the
+    least significant bit, exactly as the paper specifies for ``100b``.
+    """
+    if not text or any(c not in "01" for c in text):
+        raise ValueError(f"malformed bit literal: {text!r}b")
+    return tuple(Bit(int(c)) for c in reversed(text))
+
+
+def format_bit_literal(bits: Iterable[Bit]) -> str:
+    """Format a sequence of bits back into literal notation (MSB first)."""
+    seq = list(bits)
+    return "".join("1" if b else "0" for b in reversed(seq)) + "b"
+
+
+def bits_to_int(bits: Iterable[Bit]) -> int:
+    """Interpret a bit sequence (LSB first) as an unsigned integer."""
+    total = 0
+    for i, b in enumerate(bits):
+        total |= int(b) << i
+    return total
+
+
+def int_to_bits(value: int, width: int) -> "tuple[Bit, ...]":
+    """Lowest ``width`` bits of ``value``, LSB first."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    return tuple(Bit((value >> i) & 1) for i in range(width))
+
+
+def pack_bits(bits: Iterable[Bit]) -> bytes:
+    """Densely pack bits (LSB-first within each byte) for the wire."""
+    out = bytearray()
+    acc = 0
+    n = 0
+    for b in bits:
+        acc |= int(b) << (n % 8)
+        n += 1
+        if n % 8 == 0:
+            out.append(acc)
+            acc = 0
+    if n % 8:
+        out.append(acc)
+    return bytes(out)
+
+
+def unpack_bits(data: bytes, count: int) -> "tuple[Bit, ...]":
+    """Inverse of :func:`pack_bits` for a known bit count."""
+    if count > len(data) * 8:
+        raise ValueError("not enough bytes for requested bit count")
+    return tuple(
+        Bit((data[i // 8] >> (i % 8)) & 1) for i in range(count)
+    )

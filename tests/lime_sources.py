@@ -1,0 +1,53 @@
+"""Shared Lime source snippets used across the test suite.
+
+``FIGURE1`` is the paper's Figure 1 Bitflip class. The ``bit`` value
+enum from Figure 1 lines 1–6 is built into the compiler (bit data is
+first class in Lime), so the source here contains the Bitflip class
+only; a user-declared enum with the same shape is tested separately.
+"""
+
+FIGURE1 = """
+public class Bitflip {
+    local static bit flip(bit b) {
+        return ~b;
+    }
+    local static bit[[]] mapFlip(bit[[]] input) {
+        var flipped = Bitflip @ flip(input);
+        return flipped;
+    }
+    static bit[[]] taskFlip(bit[[]] input) {
+        bit[] result = new bit[input.length];
+        var flipit = input.source(1)
+            => ([ task flip ])
+            => result.<bit>sink();
+        flipit.finish();
+        return new bit[[]](result);
+    }
+}
+"""
+
+USER_ENUM = """
+public value enum color {
+    red, green, blue;
+    public color ~ this {
+        return this == red ? blue : red;
+    }
+}
+"""
+
+SAXPY = """
+public class Saxpy {
+    local static float axpy(float x, float y) {
+        return 2.5f * x + y;
+    }
+    local static float[[]] run(float[[]] xs, float[[]] ys) {
+        return Saxpy @ axpy(xs, ys);
+    }
+    local static float add(float a, float b) {
+        return a + b;
+    }
+    local static float total(float[[]] xs) {
+        return Saxpy ! add(xs);
+    }
+}
+"""

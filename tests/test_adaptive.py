@@ -1,0 +1,94 @@
+"""Tests for runtime adaptation (Section 4.2 future work, implemented)."""
+
+import pytest
+
+from repro.apps import SUITE, compile_app
+from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+from repro.values import KIND_INT, ValueArray
+
+
+def adaptive_runtime(app):
+    compiled = compile_app(app)
+    policy = SubstitutionPolicy(adaptive=True)
+    return Runtime(compiled, RuntimeConfig(policy=policy))
+
+
+def crc8_ref(b):
+    crc = b & 255
+    for _ in range(8):
+        fb = crc & 1
+        crc >>= 1
+        if fb:
+            crc ^= 0x8C
+    return crc
+
+
+class TestAdaptation:
+    def test_results_correct_regardless_of_choice(self):
+        runtime = adaptive_runtime("crc8")
+        xs = ValueArray(KIND_INT, [i % 256 for i in range(512)])
+        result = runtime.call("Crc8.checksums", [xs])
+        assert list(result) == [crc8_ref(x) for x in xs]
+
+    def test_adaptation_record_written(self):
+        runtime = adaptive_runtime("crc8")
+        xs = ValueArray(KIND_INT, [i % 256 for i in range(512)])
+        runtime.call("Crc8.checksums", [xs])
+        assert len(runtime.adaptation_log) == 1
+        record = runtime.adaptation_log[0]
+        assert record.cpu_s_per_item > 0
+        assert record.device_s_per_item > 0
+        assert record.chosen in ("bytecode", record.device)
+
+    def test_compute_heavy_stream_migrates_to_device(self):
+        # CRC's unrolled bit loop is compute-heavy per item: per-item
+        # device cost (amortized transfers) beats the interpreter.
+        runtime = adaptive_runtime("crc8")
+        xs = ValueArray(KIND_INT, [i % 256 for i in range(4096)])
+        runtime.call("Crc8.checksums", [xs])
+        record = runtime.adaptation_log[0]
+        assert record.chosen == record.device
+
+    def test_choice_matches_measurements(self):
+        runtime = adaptive_runtime("gray_pipeline")
+        xs = ValueArray(KIND_INT, [i for i in range(2048)])
+        result = runtime.call("GrayCoder.pipeline", [xs])
+        assert list(result) == [((x ^ (x >> 1)) * 3 + 1) for x in xs]
+        record = runtime.adaptation_log[0]
+        expected = (
+            "bytecode"
+            if record.cpu_s_per_item <= record.device_s_per_item
+            else record.device
+        )
+        assert record.chosen == expected
+
+    def test_sequential_scheduler_adapts_too(self):
+        compiled = compile_app("crc8")
+        policy = SubstitutionPolicy(adaptive=True)
+        runtime = Runtime(
+            compiled,
+            RuntimeConfig(policy=policy, scheduler="sequential"),
+        )
+        xs = ValueArray(KIND_INT, [i % 256 for i in range(300)])
+        result = runtime.call("Crc8.checksums", [xs])
+        assert list(result) == [crc8_ref(x) for x in xs]
+        assert runtime.adaptation_log
+
+    def test_short_stream_never_reaches_decision(self):
+        # Fewer items than one probe: only the CPU probe runs and no
+        # decision is recorded — the stream is simply done.
+        runtime = adaptive_runtime("crc8")
+        xs = ValueArray(KIND_INT, [1, 2, 3])
+        result = runtime.call("Crc8.checksums", [xs])
+        assert list(result) == [crc8_ref(x) for x in xs]
+        assert runtime.adaptation_log == []
+
+    def test_stateful_span_falls_back_to_plain_substitution(self):
+        # Stateful tasks are never adaptable (no device artifact exists
+        # anyway); the run must still work.
+        compiled = compile_app("running_sum")
+        policy = SubstitutionPolicy(adaptive=True)
+        runtime = Runtime(compiled, RuntimeConfig(policy=policy))
+        xs = ValueArray(KIND_INT, [1, 2, 3])
+        assert list(runtime.call("RunningSum.compute", [xs])) == [1, 3, 6]
+        assert runtime.adaptation_log == []

@@ -1,0 +1,242 @@
+"""Application-suite tests: every Lime benchmark compiles, runs, and
+matches a Python reference (and the accelerated path matches bytecode)."""
+
+import math
+
+import pytest
+
+from repro.apps import SUITE, compile_app
+from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+
+
+def run_app(name, accelerators=True, args_override=None):
+    compiled = compile_app(name)
+    policy = SubstitutionPolicy(use_accelerators=accelerators)
+    runtime = Runtime(compiled, RuntimeConfig(policy=policy))
+    entry, args = (
+        args_override if args_override else SUITE[name].default_args()
+    )
+    return runtime.run(entry, args)
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_compiles(self, name):
+        compiled = compile_app(name)
+        assert compiled.bytecode_program.functions
+
+    def test_every_map_app_gets_gpu_kernel(self):
+        for name, spec in SUITE.items():
+            if spec.flavor != "map":
+                continue
+            compiled = compile_app(name)
+            gpu = compiled.store.for_device("gpu")
+            assert gpu, f"{name} produced no GPU artifacts"
+
+    def test_stream_apps_get_fpga_modules(self):
+        for name in ("bitflip", "crc8", "parity", "gray_pipeline"):
+            compiled = compile_app(name)
+            fpga = compiled.store.for_device("fpga")
+            assert fpga, f"{name} produced no FPGA artifacts"
+
+
+class TestCorrectness:
+    def test_saxpy_reference(self):
+        from repro.apps.workloads import saxpy_args
+
+        entry, args = saxpy_args(128)
+        outcome = run_app("saxpy", args_override=(entry, args))
+        a, xs, ys = args
+        for got, x, y in zip(outcome.value, xs, ys):
+            assert got == pytest.approx(a * x + y, rel=1e-5)
+
+    def test_vector_sum_reference(self):
+        from repro.apps.workloads import vector_sum_args
+
+        entry, args = vector_sum_args(100)
+        outcome = run_app("vector_sum", args_override=(entry, args))
+        assert outcome.value == pytest.approx(sum(args[0]), rel=1e-4)
+
+    def test_black_scholes_sane(self):
+        outcome = run_app("black_scholes")
+        prices = list(outcome.value)
+        assert all(p >= -1e-3 for p in prices)
+        assert any(p > 1.0 for p in prices)
+
+    def test_black_scholes_reference_point(self):
+        # Classic check: S=100, K=100, T=1, r=0.02, v=0.3 -> ~12.82.
+        from repro.values import KIND_FLOAT, ValueArray
+
+        entry = "BlackScholes.price"
+        args = [
+            ValueArray(KIND_FLOAT, [100.0]),
+            ValueArray(KIND_FLOAT, [100.0]),
+            ValueArray(KIND_FLOAT, [1.0]),
+            0.02,
+            0.30,
+        ]
+        outcome = run_app("black_scholes", args_override=(entry, args))
+        assert outcome.value[0] == pytest.approx(12.822, abs=0.05)
+
+    def test_mandelbrot_reference(self):
+        from repro.apps.workloads import mandelbrot_args
+
+        entry, args = mandelbrot_args(16, 8, 24)
+        outcome = run_app("mandelbrot", args_override=(entry, args))
+        counts = list(outcome.value)
+        assert len(counts) == 128
+        assert min(counts) >= 0 and max(counts) <= 24
+        # The view window contains both interior and escaping points.
+        assert max(counts) == 24
+        assert min(counts) < 24
+
+    def test_matmul_reference(self):
+        from repro.apps.workloads import matmul_args
+
+        entry, args = matmul_args(6)
+        outcome = run_app("matmul", args_override=(entry, args))
+        _, a, b, n = args
+        for idx, got in enumerate(outcome.value):
+            row, col = divmod(idx, n)
+            want = sum(a[row * n + k] * b[k * n + col] for k in range(n))
+            assert got == pytest.approx(want, rel=1e-4)
+
+    def test_convolution_reference(self):
+        from repro.apps.workloads import convolution_args
+
+        entry, args = convolution_args(64, 5)
+        outcome = run_app("convolution", args_override=(entry, args))
+        _, signal, taps = args
+        for i, got in enumerate(outcome.value):
+            want = 0.0
+            for k in range(len(taps)):
+                j = i + k - len(taps) // 2
+                if 0 <= j < len(signal):
+                    want += signal[j] * taps[k]
+            assert got == pytest.approx(want, rel=1e-3, abs=1e-5)
+
+    def test_kmeans_reference(self):
+        from repro.apps.workloads import kmeans_args
+
+        entry, args = kmeans_args(64, 4)
+        outcome = run_app("kmeans", args_override=(entry, args))
+        _, px, py, cx, cy = args
+        for i, got in enumerate(outcome.value):
+            dists = [
+                (px[i] - cx[c]) ** 2 + (py[i] - cy[c]) ** 2
+                for c in range(len(cx))
+            ]
+            assert got == dists.index(min(dists))
+
+    def test_nbody_symmetric_pair(self):
+        from repro.values import KIND_FLOAT, KIND_INT, ValueArray
+
+        entry = "NBody.potentials"
+        args = [
+            ValueArray(KIND_INT, [0, 1]),
+            ValueArray(KIND_FLOAT, [0.0, 1.0]),
+            ValueArray(KIND_FLOAT, [0.0, 0.0]),
+            ValueArray(KIND_FLOAT, [0.0, 0.0]),
+            ValueArray(KIND_FLOAT, [1.0, 1.0]),
+        ]
+        outcome = run_app("nbody", args_override=(entry, args))
+        assert outcome.value[0] == pytest.approx(outcome.value[1])
+        assert outcome.value[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_crc8_reference(self):
+        from repro.values import KIND_INT, ValueArray
+
+        def crc8_ref(b):
+            crc = b & 255
+            for _ in range(8):
+                fb = crc & 1
+                crc >>= 1
+                if fb:
+                    crc ^= 0x8C
+            return crc
+
+        data = [0, 1, 0x55, 0xAA, 0xFF, 42]
+        entry = "Crc8.checksums"
+        outcome = run_app(
+            "crc8", args_override=(entry, [ValueArray(KIND_INT, data)])
+        )
+        assert list(outcome.value) == [crc8_ref(b) for b in data]
+
+    def test_gray_pipeline_reference(self):
+        from repro.values import KIND_INT, ValueArray
+
+        data = [0, 1, 2, 3, 255, 1024]
+        entry = "GrayCoder.pipeline"
+        outcome = run_app(
+            "gray_pipeline",
+            args_override=(entry, [ValueArray(KIND_INT, data)]),
+        )
+        assert list(outcome.value) == [
+            ((x ^ (x >> 1)) * 3 + 1) for x in data
+        ]
+
+    def test_parity_reference(self):
+        from repro.values import KIND_INT, Bit, ValueArray
+
+        data = [0, 1, 3, 7, 0x7FFFFFFF, 0x12345678]
+        entry = "Parity.compute"
+        outcome = run_app(
+            "parity", args_override=(entry, [ValueArray(KIND_INT, data)])
+        )
+        assert list(outcome.value) == [
+            Bit(bin(x).count("1") & 1) for x in data
+        ]
+
+    def test_dct_dc_coefficient(self):
+        # A constant image has all energy in each block's DC term.
+        from repro.values import KIND_FLOAT, KIND_INT, ValueArray
+
+        width, height = 8, 8
+        n = width * height
+        entry = "Dct.transform"
+        args = [
+            ValueArray(KIND_INT, list(range(n))),
+            ValueArray(KIND_FLOAT, [100.0] * n),
+            width,
+        ]
+        outcome = run_app("dct8x8", args_override=(entry, args))
+        coeffs = list(outcome.value)
+        assert coeffs[0] == pytest.approx(800.0, rel=1e-3)  # DC = 8*mean
+        assert all(abs(c) < 1e-2 for c in coeffs[1:])
+
+
+class TestAcceleratedMatchesBytecode:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "saxpy",
+            "black_scholes",
+            "matmul",
+            "kmeans",
+            "crc8",
+            "gray_pipeline",
+            "parity",
+            "hybrid",
+        ],
+    )
+    def test_equivalence(self, name):
+        entry, args = SUITE[name].default_args()
+        accelerated = run_app(name, True, (entry, args))
+        plain = run_app(name, False, (entry, args))
+        if isinstance(accelerated.value, float):
+            assert accelerated.value == pytest.approx(plain.value)
+        else:
+            assert accelerated.value == plain.value
+
+    def test_hybrid_uses_both_devices(self):
+        # Manually direct the stream filter to the FPGA (Section 4.2:
+        # the substitution choice "can be manually directed"); the map
+        # stays on the GPU -> three-way CPU+GPU+FPGA co-execution.
+        compiled = compile_app("hybrid")
+        pack_id = compiled.task_graphs[0].stages[1].task_id
+        policy = SubstitutionPolicy(directives={pack_id: "fpga"})
+        runtime = Runtime(compiled, RuntimeConfig(policy=policy))
+        entry, args = SUITE["hybrid"].default_args()
+        outcome = runtime.run(entry, args)
+        devices = {o.device for o in outcome.ledger.offloads}
+        assert devices == {"gpu", "fpga"}

@@ -1,0 +1,242 @@
+"""Tests for the command-line interface and the IDE-style views."""
+
+import pytest
+
+from tests.lime_sources import FIGURE1
+from repro.cli import _parse_value, main
+from repro.compiler import compile_program
+from repro.ide import annotate_source, exclusion_notes
+from repro.values import KIND_INT, ValueArray
+
+
+@pytest.fixture()
+def bitflip_file(tmp_path):
+    path = tmp_path / "bitflip.lime"
+    path.write_text(FIGURE1)
+    return str(path)
+
+
+class TestParseValue:
+    def test_scalars(self):
+        assert _parse_value("42") == 42
+        assert _parse_value("2.5") == 2.5
+        assert _parse_value("true") is True
+        assert _parse_value("false") is False
+
+    def test_bit_literal(self):
+        value = _parse_value("101b")
+        assert repr(value) == "101b"
+
+    def test_arrays(self):
+        assert _parse_value("ints:1,2,3") == ValueArray(KIND_INT, [1, 2, 3])
+        floats = _parse_value("floats:0.5,1.5")
+        assert list(floats) == [0.5, 1.5]
+        bits = _parse_value("bits:1,0")
+        assert repr(bits) == "01b"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_value("wat?")
+
+
+class TestCommands:
+    def test_compile(self, bitflip_file, capsys):
+        assert main(["compile", bitflip_file]) == 0
+        out = capsys.readouterr().out
+        assert "task graphs:" in out
+        assert "source(1) => [flip] => sink" in out
+
+    def test_run(self, bitflip_file, capsys):
+        code = main(
+            ["run", bitflip_file, "Bitflip.taskFlip", "110010111b"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "001101000b" in out
+
+    def test_run_with_time(self, bitflip_file, capsys):
+        main(
+            [
+                "run",
+                bitflip_file,
+                "Bitflip.taskFlip",
+                "101b",
+                "--time",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "simulated time:" in out
+
+    def test_run_cpu_only(self, bitflip_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    bitflip_file,
+                    "Bitflip.taskFlip",
+                    "101b",
+                    "--cpu-only",
+                ]
+            )
+            == 0
+        )
+        assert "010b" in capsys.readouterr().out
+
+    def test_markers(self, bitflip_file, capsys):
+        assert main(["markers", bitflip_file]) == 0
+        out = capsys.readouterr().out
+        assert "●" in out
+        assert "legend" in out
+
+    def test_graphs(self, bitflip_file, capsys):
+        assert main(["graphs", bitflip_file]) == 0
+        out = capsys.readouterr().out
+        assert "Bitflip.taskFlip#g0" in out
+        assert "gpu" in out and "fpga" in out
+
+    def test_disas(self, bitflip_file, capsys):
+        assert main(["disas", bitflip_file]) == 0
+        out = capsys.readouterr().out
+        assert ".method Bitflip.flip" in out
+        assert "MKTASK" in out
+
+    def test_emit_opencl(self, bitflip_file, capsys):
+        assert main(["emit-opencl", bitflip_file]) == 0
+        assert "__kernel" in capsys.readouterr().out
+
+    def test_emit_verilog(self, bitflip_file, capsys):
+        assert main(["emit-verilog", bitflip_file]) == 0
+        assert "module mod_Bitflip_flip" in capsys.readouterr().out
+
+    def test_emit_verilog_none(self, tmp_path, capsys):
+        path = tmp_path / "nofpga.lime"
+        path.write_text(
+            "class T { local static float f(float x) { return x; } "
+            "static float[[]] m(float[[]] xs) { return T @ f(xs); } }"
+        )
+        assert main(["emit-verilog", str(path)]) == 1
+
+    def test_no_gpu_flag(self, bitflip_file, capsys):
+        assert main(["compile", bitflip_file, "--no-gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "gpu:" not in out
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.lime"
+        path.write_text("class T { static int f() { return true; } }")
+        assert main(["compile", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent.lime"]) == 1
+
+    def test_build_repository(self, bitflip_file, tmp_path, capsys):
+        out_dir = str(tmp_path / "repo")
+        assert main(["build", bitflip_file, "-o", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts" in out
+        import os
+
+        assert os.path.exists(os.path.join(out_dir, "index.json"))
+
+    def test_emit_testbench(self, bitflip_file, capsys):
+        assert (
+            main(
+                ["emit-testbench", bitflip_file, "--inputs", "bits:1,0"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "module tb_mod_Bitflip_flip" in out
+
+
+class TestIDEViews:
+    def test_marker_on_relocation_line(self):
+        compiled = compile_program(FIGURE1)
+        body_lines = annotate_source(compiled).splitlines()[:-1]  # drop legend
+        marked = [line for line in body_lines if "●" in line]
+        assert len(marked) == 1
+        assert "task flip" in marked[0]
+        assert "FG" in marked[0]  # both device artifacts exist
+
+    def test_no_markers_without_artifacts(self):
+        source = (
+            "class T { local static float f(float x) { return x; } }"
+        )
+        compiled = compile_program(source)
+        body_lines = annotate_source(compiled).splitlines()[:-1]
+        assert not any("●" in line for line in body_lines)
+
+    def test_exclusion_notes(self):
+        source = """
+        class T {
+            local static float f(float x) { return x + 1.0f; }
+            static void m(float[[]] xs, float[] out) {
+                var t = xs.source(1) => ([ task f ]) => out.sink();
+                t.finish();
+            }
+        }
+        """
+        compiled = compile_program(source)
+        notes = exclusion_notes(compiled)
+        assert "[fpga]" in notes
+        assert "synthesizable" in notes
+
+    def test_exclusion_notes_empty(self):
+        compiled = compile_program("class T { }")
+        assert exclusion_notes(compiled) == "(no exclusions)"
+
+
+class TestProfileAndFormat:
+    def test_run_profile_flag(self, bitflip_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    bitflip_file,
+                    "Bitflip.taskFlip",
+                    "101b",
+                    "--cpu-only",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "method profile" in out
+        assert "Bitflip.flip" in out  # ran on the CPU, so it appears
+
+    def test_format_normalizes(self, tmp_path, capsys):
+        messy = tmp_path / "messy.lime"
+        messy.write_text(
+            "class   T{static int m(int x){return x   + 1 ;}}"
+        )
+        assert main(["format", str(messy)]) == 0
+        out = capsys.readouterr().out
+        assert "class T {" in out
+        assert "return x + 1;" in out
+
+    def test_runtime_profile_api(self):
+        from repro.apps import SUITE, compile_app
+        from repro.runtime import (
+            Runtime,
+            RuntimeConfig,
+            SubstitutionPolicy,
+        )
+
+        runtime = Runtime(
+            compile_app("crc8"),
+            RuntimeConfig(policy=SubstitutionPolicy(use_accelerators=False)),
+        )
+        entry, args = SUITE["crc8"].default_args()
+        runtime.run(entry, args)
+        profile = runtime.profile(top=5)
+        names = [name for name, _, _ in profile]
+        assert "Crc8.step" in names
+        step = dict(
+            (name, (calls, cycles)) for name, calls, cycles in profile
+        )["Crc8.step"]
+        assert step[0] == 256  # one call per stream item
+        # Sorted by inclusive cycles descending.
+        cycle_counts = [cycles for _, _, cycles in profile]
+        assert cycle_counts == sorted(cycle_counts, reverse=True)

@@ -1,0 +1,249 @@
+"""Edge-case semantics in the bytecode interpreter: casts, enums,
+strings, longs, nesting, and value-class behaviours."""
+
+import pytest
+
+from repro.backends.bytecode import Interpreter, compile_module
+from repro.errors import DeviceError
+from repro.ir import build_ir
+from repro.lime import analyze
+from repro.values import Bit, EnumValue
+
+
+def run(source, method, args):
+    module = build_ir(analyze(source))
+    return Interpreter(compile_module(module)).call(method, args)
+
+
+class TestCasts:
+    @pytest.mark.parametrize(
+        "src_type, dst_type, value, expected",
+        [
+            ("double", "int", 3.99, 3),
+            ("double", "int", -3.99, -3),
+            ("double", "float", 0.1, pytest.approx(0.1, rel=1e-6)),
+            ("int", "long", 5, 5),
+            ("long", "int", (1 << 32) + 7, 7),
+            ("int", "double", 3, 3.0),
+        ],
+    )
+    def test_numeric_casts(self, src_type, dst_type, value, expected):
+        source = (
+            f"class T {{ static {dst_type} m({src_type} x) "
+            f"{{ return ({dst_type}) x; }} }}"
+        )
+        assert run(source, "T.m", [value]) == expected
+
+    def test_bit_to_int(self):
+        source = "class T { static int m(bit b) { return (int) b; } }"
+        assert run(source, "T.m", [Bit.ONE]) == 1
+        assert run(source, "T.m", [Bit.ZERO]) == 0
+
+    def test_int_to_bit(self):
+        source = "class T { static bit m(int x) { return (bit) x; } }"
+        assert run(source, "T.m", [1]) is Bit.ONE
+        assert run(source, "T.m", [0]) is Bit.ZERO
+
+
+class TestLongs:
+    def test_long_wraps_at_64_bits(self):
+        source = (
+            "class T { static long m(long a) { return a + 1L; } }"
+        )
+        assert run(source, "T.m", [2**63 - 1]) == -(2**63)
+
+    def test_long_shift(self):
+        source = "class T { static long m(long a) { return a << 40; } }"
+        assert run(source, "T.m", [1]) == 1 << 40
+
+    def test_long_division(self):
+        source = "class T { static long m(long a, long b) { return a / b; } }"
+        assert run(source, "T.m", [-(10**12), 7]) == -(10**12 // 7)
+
+
+class TestUserEnums:
+    SOURCE = """
+    public value enum color {
+        red, green, blue;
+        public color ~ this {
+            return this == red ? blue : red;
+        }
+        public boolean isRed() {
+            return this == red;
+        }
+    }
+    class T {
+        static color flip(color c) { return ~c; }
+        static boolean check(color c) { return c.isRed(); }
+        static color pick() { return color.green; }
+    }
+    """
+
+    def test_enum_constant(self):
+        value = run(self.SOURCE, "T.pick", [])
+        assert isinstance(value, EnumValue)
+        assert value.ordinal == 1
+
+    def test_user_operator_method(self):
+        red = EnumValue("color", 0, 3)
+        blue = EnumValue("color", 2, 3)
+        assert run(self.SOURCE, "T.flip", [red]) == blue
+        assert run(self.SOURCE, "T.flip", [blue]) == red
+
+    def test_instance_method(self):
+        red = EnumValue("color", 0, 3)
+        green = EnumValue("color", 1, 3)
+        assert run(self.SOURCE, "T.check", [red]) is True
+        assert run(self.SOURCE, "T.check", [green]) is False
+
+
+class TestStrings:
+    def test_concat_numbers(self):
+        source = (
+            'class T { static void m() { println("v=" + 1 + "," + 2.5); } }'
+        )
+        module = build_ir(analyze(source))
+        interp = Interpreter(compile_module(module))
+        interp.call("T.m", [])
+        assert interp.output == "v=1,2.5\n"
+
+    def test_concat_booleans_java_style(self):
+        source = 'class T { static void m(boolean b) { println("" + b); } }'
+        module = build_ir(analyze(source))
+        interp = Interpreter(compile_module(module))
+        interp.call("T.m", [True])
+        assert interp.output == "true\n"
+
+
+class TestControlFlowDepth:
+    def test_deeply_nested_loops(self):
+        source = """
+        class T {
+            static int m(int n) {
+                int total = 0;
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < n; j++) {
+                        for (int k = 0; k < n; k++) {
+                            if ((i + j + k) % 2 == 0) { total += 1; }
+                        }
+                    }
+                }
+                return total;
+            }
+        }
+        """
+        n = 6
+        expected = sum(
+            1
+            for i in range(n)
+            for j in range(n)
+            for k in range(n)
+            if (i + j + k) % 2 == 0
+        )
+        assert run(source, "T.m", [n]) == expected
+
+    def test_break_out_of_inner_loop_only(self):
+        source = """
+        class T {
+            static int m() {
+                int total = 0;
+                for (int i = 0; i < 4; i++) {
+                    for (int j = 0; j < 10; j++) {
+                        if (j == 2) { break; }
+                        total += 1;
+                    }
+                }
+                return total;
+            }
+        }
+        """
+        assert run(source, "T.m", []) == 8
+
+    def test_while_with_compound_condition(self):
+        source = """
+        class T {
+            static int m(int n) {
+                int i = 0;
+                int s = 0;
+                while (i < n && s < 50) {
+                    s += i;
+                    i++;
+                }
+                return s;
+            }
+        }
+        """
+        assert run(source, "T.m", [100]) == 55  # 0+..+10
+
+
+class TestValueClasses:
+    def test_nested_value_objects(self):
+        source = """
+        value class Point {
+            float x; float y;
+            Point(float x0, float y0) { this.x = x0; this.y = y0; }
+        }
+        value class Segment {
+            Point a; Point b;
+            Segment(Point p, Point q) { this.a = p; this.b = q; }
+            float dx() { return b.x - a.x; }
+        }
+        class T {
+            static float m() {
+                Segment s = new Segment(
+                    new Point(1.0f, 0.0f), new Point(4.0f, 0.0f));
+                return s.dx();
+            }
+        }
+        """
+        assert run(source, "T.m", []) == pytest.approx(3.0)
+
+    def test_frozen_value_instance_rejects_mutation(self):
+        # Mutation through the interpreter is impossible by typing;
+        # verify the runtime guard fires on the frozen struct anyway.
+        from repro.errors import ValueSemanticsError
+        from repro.values.structs import StructValue
+
+        struct = StructValue("V", ["x"], True)
+        struct.set("x", 1)
+        struct.freeze()
+        with pytest.raises(ValueSemanticsError):
+            struct.set("x", 2)
+
+    def test_mutable_class_instance(self):
+        source = """
+        public class Counter {
+            int n;
+            local Counter(int start) { this.n = start; }
+            local int bump() { n += 1; return n; }
+        }
+        class T {
+            static int m() {
+                Counter c = new Counter(10);
+                c.bump();
+                c.bump();
+                return c.bump();
+            }
+        }
+        """
+        assert run(source, "T.m", []) == 13
+
+
+class TestErrorsAtRuntime:
+    def test_unknown_function(self):
+        module = build_ir(analyze("class T { }"))
+        interp = Interpreter(compile_module(module))
+        with pytest.raises(DeviceError):
+            interp.call("T.missing", [])
+
+    def test_wrong_arity(self):
+        source = "class T { static int m(int x) { return x; } }"
+        module = build_ir(analyze(source))
+        interp = Interpreter(compile_module(module))
+        with pytest.raises(DeviceError):
+            interp.call("T.m", [1, 2])
+
+    def test_modulo_negative_java_semantics(self):
+        source = "class T { static int m(int a, int b) { return a % b; } }"
+        assert run(source, "T.m", [-7, 3]) == -1
+        assert run(source, "T.m", [7, -3]) == 1

@@ -1,0 +1,139 @@
+"""Focused unit tests for the optimizer helpers and operator
+semantics helpers shared between backends."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.backends.bytecode.ops import (
+    apply_binary,
+    apply_cast,
+    apply_math,
+    apply_unary,
+    java_idiv,
+    java_irem,
+    to_float32,
+    wrap_int,
+    wrap_long,
+)
+from repro.ir.optimizations import fold_binary
+from repro.lime import types as ty
+
+
+class TestWrapping:
+    @given(st.integers(-(2**40), 2**40))
+    def test_wrap_int_range(self, x):
+        wrapped = wrap_int(x)
+        assert -(2**31) <= wrapped < 2**31
+        assert (wrapped - x) % (2**32) == 0
+
+    @given(st.integers(-(2**70), 2**70))
+    def test_wrap_long_range(self, x):
+        wrapped = wrap_long(x)
+        assert -(2**63) <= wrapped < 2**63
+        assert (wrapped - x) % (2**64) == 0
+
+    def test_identity_in_range(self):
+        for x in (0, 1, -1, 2**31 - 1, -(2**31)):
+            assert wrap_int(x) == x
+
+
+class TestJavaDivision:
+    @given(
+        st.integers(-1000, 1000),
+        st.integers(-1000, 1000).filter(lambda x: x != 0),
+    )
+    def test_idiv_truncates_toward_zero(self, a, b):
+        assert java_idiv(a, b) == int(a / b)
+
+    @given(
+        st.integers(-1000, 1000),
+        st.integers(-1000, 1000).filter(lambda x: x != 0),
+    )
+    def test_rem_sign_follows_dividend(self, a, b):
+        r = java_irem(a, b)
+        assert a == java_idiv(a, b) * b + r
+        if r != 0:
+            assert (r < 0) == (a < 0)
+
+
+class TestFloat32:
+    def test_roundtrip_exact_for_representable(self):
+        for x in (0.0, 1.0, 0.5, -2.25, 1e10):
+            assert to_float32(x) == x
+
+    def test_truncates_precision(self):
+        assert to_float32(0.1) != 0.1
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_idempotent(self, x):
+        assert to_float32(to_float32(x)) == to_float32(x)
+
+
+class TestApplyHelpers:
+    def test_string_concat(self):
+        assert apply_binary("+", "n=", 3, "String") == "n=3"
+        assert apply_binary("+", 2.5, "!", "String") == "2.5!"
+        assert apply_binary("+", True, "", "String") == "true"
+
+    def test_shift_masks_amount(self):
+        # Java masks shift amounts to 5 bits for int.
+        assert apply_binary("<<", 1, 33, "int") == 2
+
+    def test_unary_not(self):
+        assert apply_unary("!", True, "boolean") is False
+
+    def test_cast_double_to_int(self):
+        assert apply_cast(-7.9, "int") == -7
+
+    def test_math_abs_int_stays_int(self):
+        assert apply_math("Math.abs", [-5], "int") == 5
+        assert isinstance(apply_math("Math.abs", [-5], "int"), int)
+
+    def test_math_pow(self):
+        assert apply_math("Math.pow", [2.0, 10.0]) == 1024.0
+
+    def test_math_floor_ceil(self):
+        assert apply_math("Math.floor", [2.7]) == 2.0
+        assert apply_math("Math.ceil", [2.1]) == 3.0
+
+
+class TestFoldBinary:
+    def test_folds_basic(self):
+        ok, value = fold_binary("+", 2, 3, ty.INT)
+        assert ok and value == 5
+
+    def test_refuses_div_zero(self):
+        ok, _ = fold_binary("/", 1, 0, ty.INT)
+        assert not ok
+        ok, _ = fold_binary("%", 1, 0, ty.INT)
+        assert not ok
+
+    def test_wraps_int(self):
+        ok, value = fold_binary("*", 2**30, 4, ty.INT)
+        assert ok and value == 0
+
+    def test_comparison_results_boolean(self):
+        ok, value = fold_binary("<=", 3, 3, ty.BOOLEAN)
+        assert ok and value is True
+
+    @given(
+        st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+        st.integers(-10000, 10000),
+        st.integers(-10000, 10000),
+    )
+    def test_fold_matches_runtime_semantics(self, op, a, b):
+        ok, folded = fold_binary(op, a, b, ty.INT)
+        assert ok
+        assert folded == apply_binary(op, a, b, "int")
+
+    @given(
+        st.integers(-10000, 10000),
+        st.integers(-10000, 10000).filter(lambda x: x != 0),
+    )
+    def test_fold_division_matches_runtime(self, a, b):
+        ok, folded = fold_binary("/", a, b, ty.INT)
+        assert ok
+        assert folded == apply_binary("/", a, b, "int")

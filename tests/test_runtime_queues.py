@@ -1,0 +1,113 @@
+"""Unit tests for FIFO connections and the runtime task classes."""
+
+import threading
+
+import pytest
+
+from repro.errors import RuntimeGraphError
+from repro.runtime.queues import END_OF_STREAM, Connection, EndOfStream
+from repro.runtime.tasks import SinkTask, SourceTask
+from repro.values import KIND_INT, MutableArray, ValueArray
+
+
+class TestEndOfStream:
+    def test_singleton(self):
+        assert EndOfStream() is END_OF_STREAM
+
+    def test_repr(self):
+        assert "end-of-stream" in repr(END_OF_STREAM)
+
+
+class TestConnection:
+    def test_fifo_order(self):
+        conn = Connection()
+        for i in range(10):
+            conn.put(i)
+        assert [conn.get() for _ in range(10)] == list(range(10))
+
+    def test_items_transferred_excludes_eos(self):
+        conn = Connection()
+        conn.put(1)
+        conn.close()
+        assert conn.items_transferred == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(RuntimeGraphError):
+            Connection(capacity=0)
+
+    def test_get_batch(self):
+        conn = Connection()
+        for i in range(4):
+            conn.put(i)
+        assert conn.get_batch(2) == [0, 1]
+        assert conn.get_batch(2) == [2, 3]
+
+    def test_get_batch_eos(self):
+        conn = Connection()
+        conn.close()
+        assert conn.get_batch(3) == [END_OF_STREAM]
+
+    def test_get_batch_partial_eos_is_error(self):
+        conn = Connection()
+        conn.put(1)
+        conn.close()
+        with pytest.raises(RuntimeGraphError):
+            conn.get_batch(2)
+
+    def test_blocking_behaviour(self):
+        conn = Connection(capacity=2)
+        received = []
+
+        def consumer():
+            while True:
+                item = conn.get()
+                if item is END_OF_STREAM:
+                    return
+                received.append(item)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        for i in range(100):  # more than capacity: producer must block
+            conn.put(i)
+        conn.close()
+        thread.join(timeout=5)
+        assert received == list(range(100))
+
+    def test_drain(self):
+        conn = Connection()
+        conn.put(1)
+        conn.put(2)
+        assert conn.drain() == [1, 2]
+        assert conn.drain() == []
+
+
+class TestSourceSinkTasks:
+    def test_source_requires_value_array(self):
+        with pytest.raises(RuntimeGraphError):
+            SourceTask(MutableArray(KIND_INT, [1]), 1)
+
+    def test_sink_requires_mutable_array(self):
+        with pytest.raises(RuntimeGraphError):
+            SinkTask(ValueArray(KIND_INT, [1]))
+
+    def test_source_rate_chunks(self):
+        source = SourceTask(ValueArray(KIND_INT, [1, 2, 3, 4]), rate=2)
+        chunks = source.emit_items()
+        assert len(chunks) == 2
+        assert list(chunks[0]) == [1, 2]
+        assert list(chunks[1]) == [3, 4]
+
+    def test_source_rate_one(self):
+        source = SourceTask(ValueArray(KIND_INT, [7, 8]), rate=1)
+        assert source.emit_items() == [7, 8]
+
+    def test_sink_overflow_detected(self):
+        sink = SinkTask(MutableArray.allocate(KIND_INT, 1))
+        sink._store(1)
+        with pytest.raises(RuntimeGraphError):
+            sink._store(2)
+
+    def test_dynamic_task_ids_unique(self):
+        a = SourceTask(ValueArray(KIND_INT, [1]), 1)
+        b = SourceTask(ValueArray(KIND_INT, [1]), 1)
+        assert a.task_id != b.task_id

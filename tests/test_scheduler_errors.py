@@ -1,0 +1,111 @@
+"""Error propagation and robustness in the graph schedulers, plus a
+Sobel reference check."""
+
+import pytest
+
+from repro.apps import SUITE, compile_app
+from repro.compiler import compile_program
+from repro.errors import DeviceError, LiquidMetalError
+from repro.runtime import Runtime, RuntimeConfig
+from repro.values import KIND_INT, ValueArray
+
+
+class TestErrorPropagation:
+    FAULTY = """
+    class F {
+        local static int invert(int x) { return 100 / x; }
+        static int[[]] run(int[[]] xs) {
+            int[] out = new int[xs.length];
+            var t = xs.source(1) => task invert => out.<int>sink();
+            t.finish();
+            return new int[[]](out);
+        }
+    }
+    """
+
+    def test_filter_exception_surfaces_threaded(self):
+        runtime = Runtime(
+            compile_program(self.FAULTY), RuntimeConfig(scheduler="threaded")
+        )
+        xs = ValueArray(KIND_INT, [1, 0, 5])  # division by zero mid-stream
+        with pytest.raises(LiquidMetalError):
+            runtime.call("F.run", [xs])
+
+    def test_filter_exception_surfaces_sequential(self):
+        runtime = Runtime(
+            compile_program(self.FAULTY),
+            RuntimeConfig(scheduler="sequential"),
+        )
+        xs = ValueArray(KIND_INT, [1, 0, 5])
+        with pytest.raises(DeviceError):
+            runtime.call("F.run", [xs])
+
+    def test_runtime_survives_after_error(self):
+        runtime = Runtime(compile_program(self.FAULTY))
+        bad = ValueArray(KIND_INT, [0])
+        good = ValueArray(KIND_INT, [4, 5])
+        with pytest.raises(LiquidMetalError):
+            runtime.call("F.run", [bad])
+        assert list(runtime.call("F.run", [good])) == [25, 20]
+
+    def test_sink_too_small_detected(self):
+        source = """
+        class S {
+            local static int idf(int x) { return x; }
+            static void run(int[[]] xs, int[] out) {
+                var t = xs.source(1) => task idf => out.<int>sink();
+                t.finish();
+            }
+        }
+        """
+        from repro.values import MutableArray
+
+        runtime = Runtime(compile_program(source))
+        xs = ValueArray(KIND_INT, [1, 2, 3])
+        out = MutableArray.allocate(KIND_INT, 2)  # too small
+        with pytest.raises(LiquidMetalError):
+            runtime.call("S.run", [xs, out])
+
+
+class TestSobel:
+    def test_reference_implementation(self):
+        from repro.apps.workloads import sobel_args
+
+        entry, args = sobel_args(12, 8)
+        compiled = compile_app("sobel")
+        outcome = Runtime(compiled).run(entry, args)
+        _, image, width, height = args
+
+        def ref(idx):
+            x, y = idx % width, idx // width
+            if x in (0, width - 1) or y in (0, height - 1):
+                return 0
+            p = lambda dx, dy: image[(y + dy) * width + x + dx]  # noqa: E731
+            gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) - (
+                p(-1, -1) + 2 * p(-1, 0) + p(-1, 1)
+            )
+            gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) - (
+                p(-1, -1) + 2 * p(0, -1) + p(1, -1)
+            )
+            return min(abs(gx) + abs(gy), 255)
+
+        for idx, got in enumerate(outcome.value):
+            assert got == ref(idx), idx
+
+    def test_borders_are_zero(self):
+        from repro.apps.workloads import sobel_args
+
+        entry, args = sobel_args(10, 6)
+        outcome = Runtime(compile_app("sobel")).run(entry, args)
+        width, height = 10, 6
+        values = list(outcome.value)
+        for x in range(width):
+            assert values[x] == 0
+            assert values[(height - 1) * width + x] == 0
+
+    def test_offloads_to_gpu(self):
+        from repro.apps.workloads import sobel_args
+
+        entry, args = sobel_args(16, 8)
+        outcome = Runtime(compile_app("sobel")).run(entry, args)
+        assert any(o.device == "gpu" for o in outcome.ledger.offloads)

@@ -1,0 +1,58 @@
+"""Whole-suite accelerated-vs-bytecode equivalence at reduced sizes.
+
+The deepest end-to-end invariant of the reproduction: for every
+application, the co-executing configuration produces exactly the value
+the pure-bytecode configuration produces (bit-identical — float math
+round-trips through binary32 on both paths)."""
+
+import pytest
+
+from repro.apps import SUITE, compile_app, workloads
+from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+
+# Reduced workloads so the whole sweep stays fast.
+SMALL_ARGS = {
+    "bitflip": lambda: workloads.bitflip_args(64),
+    "saxpy": lambda: workloads.saxpy_args(128),
+    "vector_sum": lambda: workloads.vector_sum_args(128),
+    "black_scholes": lambda: workloads.black_scholes_args(96),
+    "mandelbrot": lambda: workloads.mandelbrot_args(16, 8, 16),
+    "nbody": lambda: workloads.nbody_args(32),
+    "matmul": lambda: workloads.matmul_args(8),
+    "convolution": lambda: workloads.convolution_args(128, 5),
+    "dct8x8": lambda: workloads.dct_args(8, 8),
+    "kmeans": lambda: workloads.kmeans_args(96, 4),
+    "gray_pipeline": lambda: workloads.gray_pipeline_args(96),
+    "crc8": lambda: workloads.crc8_args(96),
+    "parity": lambda: workloads.parity_args(96),
+    "hybrid": lambda: workloads.hybrid_args(96, 48),
+    "running_sum": lambda: workloads.running_sum_args(48),
+    "sobel": lambda: workloads.sobel_args(12, 8),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_accelerated_equals_bytecode(name):
+    assert name in SMALL_ARGS, f"add a small workload for {name}"
+    entry, args = SMALL_ARGS[name]()
+    compiled = compile_app(name)
+    accelerated = Runtime(compiled).run(entry, args)
+    plain = Runtime(
+        compiled,
+        RuntimeConfig(policy=SubstitutionPolicy(use_accelerators=False)),
+    ).run(entry, args)
+    assert accelerated.value == plain.value, name
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_adaptive_policy_equals_bytecode(name):
+    entry, args = SMALL_ARGS[name]()
+    compiled = compile_app(name)
+    adaptive = Runtime(
+        compiled, RuntimeConfig(policy=SubstitutionPolicy(adaptive=True))
+    ).run(entry, args)
+    plain = Runtime(
+        compiled,
+        RuntimeConfig(policy=SubstitutionPolicy(use_accelerators=False)),
+    ).run(entry, args)
+    assert adaptive.value == plain.value, name

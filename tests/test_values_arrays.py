@@ -1,0 +1,140 @@
+"""Unit tests for value arrays ``T[[]]`` and ordinary arrays ``T[]``."""
+
+import pytest
+
+from repro.errors import ValueSemanticsError
+from repro.values import (
+    KIND_BIT,
+    KIND_FLOAT,
+    KIND_INT,
+    Bit,
+    MutableArray,
+    ValueArray,
+    array_kind,
+    is_value,
+    kind_of,
+    parse_bit_literal,
+)
+
+
+class TestValueArray:
+    def test_construction_and_access(self):
+        arr = ValueArray(KIND_INT, [1, 2, 3])
+        assert arr.length == 3
+        assert list(arr) == [1, 2, 3]
+        assert arr[0] == 1 and arr[2] == 3
+
+    def test_immutability(self):
+        arr = ValueArray(KIND_INT, [1, 2, 3])
+        with pytest.raises(TypeError):
+            arr[0] = 9  # Sequence without __setitem__
+        with pytest.raises(ValueSemanticsError):
+            arr._items = ()
+
+    def test_is_value(self):
+        assert is_value(ValueArray(KIND_INT, [1]))
+        assert not is_value(MutableArray(KIND_INT, [1]))
+
+    def test_float_coercion(self):
+        arr = ValueArray(KIND_FLOAT, [1, 2.5])
+        assert arr[0] == 1.0 and isinstance(arr[0], float)
+
+    def test_heterogeneous_rejected(self):
+        with pytest.raises(ValueSemanticsError):
+            ValueArray(KIND_INT, [1, "two"])
+        with pytest.raises(ValueSemanticsError):
+            ValueArray(KIND_INT, [1, True])
+
+    def test_structural_equality_and_hash(self):
+        a = ValueArray(KIND_INT, [1, 2])
+        b = ValueArray(KIND_INT, [1, 2])
+        c = ValueArray(KIND_INT, [2, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_bit_array_repr_is_literal(self):
+        arr = ValueArray(KIND_BIT, parse_bit_literal("100"))
+        assert repr(arr) == "100b"
+
+    def test_slice_returns_value_array(self):
+        arr = ValueArray(KIND_INT, [1, 2, 3, 4])
+        sub = arr[1:3]
+        assert isinstance(sub, ValueArray)
+        assert list(sub) == [2, 3]
+
+    def test_map_paper_semantics(self):
+        # mapFlip(100b) == 001b (Section 2.2).
+        arr = ValueArray(KIND_BIT, parse_bit_literal("100"))
+        flipped = arr.map(lambda b: ~b, KIND_BIT)
+        assert repr(flipped) == "011b"
+        # And the exact paper example: flipping every bit of 100b.
+        assert flipped == ValueArray(KIND_BIT, parse_bit_literal("011"))
+
+    def test_reduce(self):
+        arr = ValueArray(KIND_INT, [1, 2, 3, 4])
+        assert arr.reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_rejected(self):
+        with pytest.raises(ValueSemanticsError):
+            ValueArray(KIND_INT, []).reduce(lambda a, b: a + b)
+
+    def test_nested_value_arrays(self):
+        inner_kind = KIND_INT
+        outer = ValueArray(
+            array_kind(inner_kind),
+            [ValueArray(inner_kind, [1, 2]), ValueArray(inner_kind, [3])],
+        )
+        assert outer.length == 2
+        assert outer[1][0] == 3
+
+    def test_nested_mutable_frozen_on_insert(self):
+        mutable = MutableArray(KIND_INT, [1, 2])
+        outer = ValueArray(array_kind(KIND_INT), [mutable])
+        mutable[0] = 99
+        assert outer[0][0] == 1  # deep-frozen at construction
+
+    def test_kind_of(self):
+        assert kind_of(ValueArray(KIND_INT, [1])) == array_kind(KIND_INT)
+
+
+class TestMutableArray:
+    def test_allocate_defaults(self):
+        arr = MutableArray.allocate(KIND_BIT, 4)
+        assert arr.length == 4
+        assert all(b is Bit.ZERO for b in arr)
+        ints = MutableArray.allocate(KIND_INT, 2)
+        assert list(ints) == [0, 0]
+
+    def test_allocate_negative_rejected(self):
+        with pytest.raises(ValueSemanticsError):
+            MutableArray.allocate(KIND_INT, -1)
+
+    def test_store_and_load(self):
+        arr = MutableArray.allocate(KIND_INT, 3)
+        arr[1] = 42
+        assert arr[1] == 42
+
+    def test_store_type_checked(self):
+        arr = MutableArray.allocate(KIND_INT, 1)
+        with pytest.raises(ValueSemanticsError):
+            arr[0] = 1.5
+
+    def test_freeze_is_deep_copy(self):
+        arr = MutableArray(KIND_INT, [1, 2])
+        frozen = arr.freeze()
+        arr[0] = 99
+        assert frozen[0] == 1
+
+    def test_from_mutable_matches_figure1_line21(self):
+        # new bit[[]](result) where result is a bit[].
+        result = MutableArray(KIND_BIT, parse_bit_literal("011"))
+        frozen = ValueArray.from_mutable(result)
+        assert repr(frozen) == "011b"
+
+    def test_thaw_roundtrip(self):
+        original = ValueArray(KIND_INT, [5, 6])
+        thawed = original.thaw()
+        thawed[0] = 7
+        assert original[0] == 5
+        assert thawed.freeze() == ValueArray(KIND_INT, [7, 6])

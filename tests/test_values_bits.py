@@ -1,0 +1,121 @@
+"""Unit tests for the Lime ``bit`` type and bit literals (Figure 1)."""
+
+import pytest
+
+from repro.errors import ValueSemanticsError
+from repro.values import (
+    Bit,
+    bits_to_int,
+    format_bit_literal,
+    int_to_bits,
+    parse_bit_literal,
+)
+from repro.values.bits import pack_bits, unpack_bits
+
+
+class TestBit:
+    def test_interning(self):
+        assert Bit(0) is Bit.ZERO
+        assert Bit(1) is Bit.ONE
+        assert Bit(0) is Bit(0)
+
+    def test_invert_matches_paper_tilde_method(self):
+        # Figure 1 lines 3-5: ~zero == one and ~one == zero.
+        assert ~Bit.ZERO is Bit.ONE
+        assert ~Bit.ONE is Bit.ZERO
+
+    def test_double_invert_is_identity(self):
+        for b in (Bit.ZERO, Bit.ONE):
+            assert ~~b is b
+
+    def test_int_and_bool_conversion(self):
+        assert int(Bit.ONE) == 1
+        assert int(Bit.ZERO) == 0
+        assert bool(Bit.ONE) is True
+        assert bool(Bit.ZERO) is False
+
+    def test_logic_operators(self):
+        assert (Bit.ONE & Bit.ZERO) is Bit.ZERO
+        assert (Bit.ONE | Bit.ZERO) is Bit.ONE
+        assert (Bit.ONE ^ Bit.ONE) is Bit.ZERO
+        assert (Bit.ONE ^ Bit.ZERO) is Bit.ONE
+
+    def test_immutability(self):
+        with pytest.raises(ValueSemanticsError):
+            Bit.ONE.anything = 3
+
+    def test_equality_and_hash(self):
+        assert Bit.ONE == Bit(1)
+        assert Bit.ONE != Bit.ZERO
+        assert len({Bit.ZERO, Bit.ONE, Bit(0), Bit(1)}) == 2
+
+    def test_ordinal(self):
+        assert Bit.ZERO.ordinal == 0
+        assert Bit.ONE.ordinal == 1
+
+    def test_repr_uses_enum_constant_names(self):
+        assert repr(Bit.ZERO) == "zero"
+        assert repr(Bit.ONE) == "one"
+
+
+class TestBitLiterals:
+    def test_paper_example_100b(self):
+        # "the bit literal 100b is a 3-bit array where bit[0]=0 and
+        # bit[2]=1" (Section 2.2).
+        bits = parse_bit_literal("100")
+        assert len(bits) == 3
+        assert bits[0] is Bit.ZERO
+        assert bits[1] is Bit.ZERO
+        assert bits[2] is Bit.ONE
+
+    def test_roundtrip_format(self):
+        for text in ("0", "1", "100", "110010111", "0001"):
+            assert format_bit_literal(parse_bit_literal(text)) == text + "b"
+
+    def test_malformed_literal_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bit_literal("102")
+        with pytest.raises(ValueError):
+            parse_bit_literal("")
+
+    def test_bits_to_int(self):
+        # 100b: LSB-first (0,0,1) == decimal 4.
+        assert bits_to_int(parse_bit_literal("100")) == 4
+        assert bits_to_int(parse_bit_literal("111")) == 7
+        assert bits_to_int(parse_bit_literal("0")) == 0
+
+    def test_int_to_bits_roundtrip(self):
+        for n in (0, 1, 5, 100, 255, 1023):
+            width = max(n.bit_length(), 1)
+            assert bits_to_int(int_to_bits(n, width)) == n
+
+    def test_int_to_bits_negative_width(self):
+        with pytest.raises(ValueError):
+            int_to_bits(3, -1)
+
+
+class TestBitPacking:
+    def test_pack_8_bits_per_byte(self):
+        bits = parse_bit_literal("10110101")
+        packed = pack_bits(bits)
+        assert len(packed) == 1
+        assert unpack_bits(packed, 8) == bits
+
+    def test_pack_partial_byte(self):
+        bits = parse_bit_literal("101")
+        packed = pack_bits(bits)
+        assert len(packed) == 1
+        assert unpack_bits(packed, 3) == bits
+
+    def test_pack_empty(self):
+        assert pack_bits(()) == b""
+        assert unpack_bits(b"", 0) == ()
+
+    def test_unpack_too_few_bytes(self):
+        with pytest.raises(ValueError):
+            unpack_bits(b"\x00", 9)
+
+    def test_pack_density(self):
+        # 1000 bits should occupy 125 bytes, not 1000.
+        bits = tuple(Bit(i % 2) for i in range(1000))
+        assert len(pack_bits(bits)) == 125
