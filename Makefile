@@ -2,9 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples all clean
+.PHONY: test bench examples trace-smoke all clean
 
-test:
+test: trace-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -17,6 +17,19 @@ examples:
 	$(PYTHON) examples/heterogeneous_pipeline.py
 	$(PYTHON) examples/adaptive_migration.py
 	$(PYTHON) examples/reproduce_speedups.py
+
+# Export a Chrome trace end-to-end and re-validate it against the
+# trace-event schema (the `python -m repro trace` command already
+# validates in-process; the second load catches serialization bugs).
+trace-smoke:
+	mkdir -p benchmarks/out
+	PYTHONPATH=src $(PYTHON) -m repro trace mandelbrot \
+		-o benchmarks/out/trace_smoke.json \
+		--jsonl benchmarks/out/trace_smoke.jsonl
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.obs import validate_trace_file; \
+	validate_trace_file('benchmarks/out/trace_smoke.json'); \
+	print('trace-smoke: benchmarks/out/trace_smoke.json valid')"
 
 all: test bench
 

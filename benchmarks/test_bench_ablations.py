@@ -173,21 +173,21 @@ def test_bench_retiming_ablation(benchmark, capsys):
     """Behavioral-synthesis retiming: cutting the CRC datapath into
     register stages raises Fmax and, for long pipelined streams, cuts
     kernel time — at the cost of latency and flip-flops."""
-    from repro.compiler import compile_program
+    from repro.compiler import CompileOptions, compile_program
 
     source = SUITE["crc8"].source
 
     def run():
         rows = []
         for label, opts in (
-            ("II=3, 1 stage (Figure 4)", {}),
-            ("II=1, 1 stage", {"fpga_pipelined": True}),
+            ("II=3, 1 stage (Figure 4)", CompileOptions()),
+            ("II=1, 1 stage", CompileOptions(fpga_pipelined=True)),
             (
                 "II=1, retimed (depth<=6)",
-                {"fpga_pipelined": True, "fpga_max_stage_depth": 6},
+                CompileOptions(fpga_pipelined=True, fpga_max_stage_depth=6),
             ),
         ):
-            compiled = compile_program(source, **opts)
+            compiled = compile_program(source, options=opts)
             (artifact,) = compiled.store.for_device("fpga")
             bundle = artifact.payload
             report = bundle.synthesis

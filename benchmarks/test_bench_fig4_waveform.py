@@ -20,6 +20,7 @@ import os
 import pytest
 
 from repro.apps import compile_app
+from repro.compiler import CompileOptions
 from repro.devices.fpga import FPGASimulator
 from repro.values import parse_bit_literal
 
@@ -30,7 +31,9 @@ NINE_BITS = [int(b) for b in parse_bit_literal("110010111")]
 
 
 def bitflip_bundle(pipelined=False):
-    compiled = compile_app("bitflip", fpga_pipelined=pipelined)
+    compiled = compile_app(
+        "bitflip", options=CompileOptions(fpga_pipelined=pipelined)
+    )
     (artifact,) = compiled.store.for_device("fpga")
     return artifact.payload
 

@@ -19,26 +19,47 @@ from repro.errors import LiquidMetalError
 __version__ = "1.0.0"
 
 
-def compile_program(source, **kwargs):
+def compile_program(source, filename="<lime>", options=None, **kwargs):
     """Compile Lime source text to a :class:`repro.compiler.CompileResult`.
 
+    Pass a :class:`repro.compiler.CompileOptions` via ``options=``;
+    legacy keyword flags still work but emit ``DeprecationWarning``.
     Imported lazily so that ``import repro`` stays cheap.
     """
     from repro.compiler import compile_program as _compile
 
-    return _compile(source, **kwargs)
+    return _compile(source, filename=filename, options=options, **kwargs)
+
+
+_LAZY_ATTRS = {
+    "Runtime": ("repro.runtime.engine", "Runtime"),
+    "RuntimeConfig": ("repro.runtime.engine", "RuntimeConfig"),
+    "compile_report": ("repro.compiler", "compile_report"),
+    "CompileOptions": ("repro.compiler", "CompileOptions"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "NULL_TRACER": ("repro.obs", "NULL_TRACER"),
+}
 
 
 def __getattr__(name):
-    if name == "Runtime":
-        from repro.runtime.engine import Runtime
+    try:
+        module_name, attr = _LAZY_ATTRS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}"
+        ) from None
+    import importlib
 
-        return Runtime
-    if name == "compile_report":
-        from repro.compiler import compile_report
-
-        return compile_report
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), attr)
 
 
-__all__ = ["LiquidMetalError", "Runtime", "compile_program", "compile_report"]
+__all__ = [
+    "CompileOptions",
+    "LiquidMetalError",
+    "NULL_TRACER",
+    "Runtime",
+    "RuntimeConfig",
+    "Tracer",
+    "compile_program",
+    "compile_report",
+]

@@ -10,7 +10,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.apps import programs, workloads
-from repro.compiler import CompileResult, compile_program
+from repro.compiler import CompileOptions, CompileResult, compile_program
 
 
 @dataclass(frozen=True)
@@ -142,12 +142,21 @@ SUITE = {
 _COMPILE_CACHE: dict = {}
 
 
-def compile_app(name: str, **options) -> CompileResult:
-    """Compile one suite application (cached per option set)."""
-    key = (name, tuple(sorted(options.items())))
+def compile_app(
+    name: str, options: "CompileOptions | None" = None, **legacy
+) -> CompileResult:
+    """Compile one suite application (cached per options object).
+
+    Legacy keyword flags are folded onto :class:`CompileOptions` by
+    ``compile_program``'s deprecation shim.
+    """
+    if legacy:
+        options = (options or CompileOptions()).replace(**legacy)
+    options = options or CompileOptions()
+    key = (name, options)
     if key not in _COMPILE_CACHE:
         _COMPILE_CACHE[key] = compile_program(
-            SUITE[name].source, filename=f"<{name}.lime>", **options
+            SUITE[name].source, filename=f"<{name}.lime>", options=options
         )
     return _COMPILE_CACHE[key]
 

@@ -17,6 +17,7 @@ from repro.backends.opencl import codegen
 from repro.backends.opencl.exclusion import exclusion_reasons
 from repro.ir import nodes as ir
 from repro.lime import types as ty
+from repro.obs.tracer import NULL_TRACER
 
 # Types a filter kernel can stream item-by-item.
 _SCALARISH = (ty.PrimType, ty.ClassType)
@@ -64,8 +65,9 @@ class OpenCLBackend:
 
     device = common.GPU
 
-    def __init__(self, module: ir.IRModule):
+    def __init__(self, module: ir.IRModule, tracer=NULL_TRACER):
         self.module = module
+        self.tracer = tracer
         self.artifacts: list[common.Artifact] = []
         self.exclusions: list[common.Exclusion] = []
 
@@ -87,12 +89,15 @@ class OpenCLBackend:
                 continue
             function = self.module.functions[method]
             param_kinds, result_kind = _kernel_kinds(function)
-            if kind == "map":
-                text = codegen.generate_map_kernel(
-                    self.module, method, broadcast
-                )
-            else:
-                text = codegen.generate_reduce_kernel(self.module, method)
+            with self.tracer.span(
+                "compile.backend.opencl.kernel", kind=kind, task=task_id
+            ):
+                if kind == "map":
+                    text = codegen.generate_map_kernel(
+                        self.module, method, broadcast
+                    )
+                else:
+                    text = codegen.generate_reduce_kernel(self.module, method)
             kernel = GPUKernel(
                 name=f"{kind}_{codegen.mangle(method)}",
                 kind=kind,
@@ -175,7 +180,13 @@ class OpenCLBackend:
 
     def _emit_filter_artifact(self, graph, stages) -> None:
         methods = [s.method for s in stages]
-        text = codegen.generate_filter_kernel(self.module, methods)
+        with self.tracer.span(
+            "compile.backend.opencl.kernel",
+            kind="filter",
+            task=",".join(s.task_id for s in stages),
+            graph=graph.graph_id,
+        ):
+            text = codegen.generate_filter_kernel(self.module, methods)
         first = self.module.functions[methods[0]]
         last = self.module.functions[methods[-1]]
         kernel = GPUKernel(
@@ -198,6 +209,6 @@ class OpenCLBackend:
         )
 
 
-def compile_gpu(module: ir.IRModule) -> OpenCLBackend:
+def compile_gpu(module: ir.IRModule, tracer=NULL_TRACER) -> OpenCLBackend:
     """Run the GPU backend over a module."""
-    return OpenCLBackend(module).compile()
+    return OpenCLBackend(module, tracer=tracer).compile()

@@ -14,6 +14,7 @@ from repro.backends.verilog import codegen
 from repro.backends.verilog.datapath import DatapathBuilder
 from repro.errors import ExclusionNotice
 from repro.ir import nodes as ir
+from repro.obs.tracer import NULL_TRACER
 
 
 class VerilogBackend:
@@ -24,11 +25,13 @@ class VerilogBackend:
         module: ir.IRModule,
         pipelined: bool = False,
         max_stage_depth: "int | None" = None,
+        tracer=NULL_TRACER,
     ):
         self.module = module
         self.pipelined = pipelined
         self.max_stage_depth = max_stage_depth
         self.builder = DatapathBuilder(module)
+        self.tracer = tracer
         self.artifacts: list[common.Artifact] = []
         self.exclusions: list[common.Exclusion] = []
 
@@ -113,6 +116,17 @@ class VerilogBackend:
 
     def _emit(self, graph, stages, bundle) -> None:
         task_ids = [s.task_id for s in stages]
+        with self.tracer.span(
+            "compile.backend.verilog.module",
+            tasks=",".join(task_ids),
+            graph=graph.graph_id,
+            pipelined=bundle.pipelined,
+        ) as span:
+            text = bundle.verilog()
+            span.set(
+                fmax_hz=bundle.synthesis.fmax_hz,
+                flipflops=bundle.synthesis.flipflops,
+            )
         manifest = common.Manifest(
             artifact_id="fpga:" + "+".join(task_ids),
             device=self.device,
@@ -128,9 +142,7 @@ class VerilogBackend:
             },
         )
         self.artifacts.append(
-            common.Artifact(
-                manifest=manifest, payload=bundle, text=bundle.verilog()
-            )
+            common.Artifact(manifest=manifest, payload=bundle, text=text)
         )
 
 
@@ -138,8 +150,12 @@ def compile_fpga(
     module: ir.IRModule,
     pipelined: bool = False,
     max_stage_depth: "int | None" = None,
+    tracer=NULL_TRACER,
 ) -> VerilogBackend:
     """Run the FPGA backend over a module."""
     return VerilogBackend(
-        module, pipelined=pipelined, max_stage_depth=max_stage_depth
+        module,
+        pipelined=pipelined,
+        max_stage_depth=max_stage_depth,
+        tracer=tracer,
     ).compile()

@@ -5,6 +5,7 @@ Subcommands::
 
     python -m repro compile  prog.lime            # toolchain report
     python -m repro run      prog.lime C.m 1 2.5  # execute an entry point
+    python -m repro trace    mandelbrot           # traced run -> Chrome JSON
     python -m repro markers  prog.lime            # IDE-style marker view
     python -m repro graphs   prog.lime            # discovered task graphs
     python -m repro disas    prog.lime            # bytecode disassembly
@@ -13,6 +14,11 @@ Subcommands::
     python -m repro emit-testbench prog.lime      # self-checking Verilog TB
     python -m repro format   prog.lime            # pretty-print/normalize
     python -m repro build    prog.lime -o out/    # on-disk artifact repo
+
+``trace`` accepts either a suite app name (see ``repro.apps.SUITE``)
+or a Lime file plus ``--entry``; it compiles and runs under a live
+tracer, then exports a Chrome ``trace_event`` JSON loadable in
+``chrome://tracing`` or https://ui.perfetto.dev.
 
 Argument literals accepted by ``run``: ints (``42``), floats (``2.5``),
 booleans (``true``/``false``), bit literals (``110010111b``), and
@@ -25,7 +31,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.compiler import compile_program, compile_report
+from repro.compiler import CompileOptions, compile_program, compile_report
 from repro.errors import LiquidMetalError
 
 
@@ -68,16 +74,21 @@ def _parse_value(text: str):
     raise SystemExit(f"cannot parse argument {text!r}")
 
 
-def _compiled(args):
-    with open(args.file) as f:
-        source = f.read()
-    return compile_program(
-        source,
-        filename=args.file,
+def _options(args, tracer=None) -> CompileOptions:
+    options = CompileOptions(
         enable_gpu=not args.no_gpu,
         enable_fpga=not args.no_fpga,
         fpga_pipelined=args.fpga_pipelined,
     )
+    if tracer is not None:
+        options = options.replace(tracer=tracer)
+    return options
+
+
+def _compiled(args):
+    with open(args.file) as f:
+        source = f.read()
+    return compile_program(source, filename=args.file, options=_options(args))
 
 
 def _cmd_compile(args) -> int:
@@ -109,6 +120,95 @@ def _cmd_run(args) -> int:
             f"offloads {summary['offload_s'] * 1e6:.2f} us, "
             f"graphs {summary['graph_s'] * 1e6:.2f} us)"
         )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Compile and run one app under tracing; export Chrome trace JSON."""
+    import os
+
+    from repro.obs import Tracer
+    from repro.obs.export import (
+        render_span_tree,
+        validate_trace_events,
+        write_chrome_trace,
+        write_json_lines,
+    )
+    from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+
+    tracer = Tracer()
+    if os.path.exists(args.target) or args.target.endswith(".lime"):
+        if not args.entry:
+            print(
+                "error: tracing a .lime file requires --entry", file=sys.stderr
+            )
+            return 2
+        with open(args.target) as f:
+            source = f.read()
+        name = os.path.splitext(os.path.basename(args.target))[0]
+        filename = args.target
+        entry = args.entry
+        values = [_parse_value(a) for a in args.args]
+    else:
+        from repro.apps import SUITE
+
+        if args.target not in SUITE:
+            known = ", ".join(sorted(SUITE))
+            print(
+                f"error: {args.target!r} is neither a file nor a suite "
+                f"app (known apps: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        spec = SUITE[args.target]
+        source = spec.source
+        name = spec.name
+        filename = f"<{name}.lime>"
+        entry, values = spec.default_args()
+        if args.entry:
+            entry = args.entry
+            values = [_parse_value(a) for a in args.args]
+    options = _options(args, tracer=tracer)
+    compiled = compile_program(source, filename=filename, options=options)
+    policy = SubstitutionPolicy(use_accelerators=not args.cpu_only)
+    config = RuntimeConfig(
+        policy=policy, scheduler=args.scheduler, tracer=tracer
+    )
+    outcome = Runtime(compiled, config).run(entry, values)
+    out_path = args.out or f"{name}.trace.json"
+    payload = write_chrome_trace(tracer, out_path, process_name=name)
+    problems = validate_trace_events(payload)
+    if problems:
+        print("error: exported trace failed validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.jsonl:
+        write_json_lines(tracer, args.jsonl)
+    if outcome.output:
+        sys.stdout.write(outcome.output)
+    print(f"entry: {entry}")
+    print(
+        f"simulated time: {outcome.seconds * 1e6:.2f} us; "
+        f"{len(tracer.spans)} spans, "
+        f"{len(tracer.counters)} counters"
+    )
+    if args.tree:
+        print()
+        print(render_span_tree(tracer))
+    counters = tracer.counters.snapshot()
+    if counters:
+        print()
+        print("counters:")
+        for cname, value in counters.items():
+            print(f"  {value:>12g}  {cname}")
+    print(
+        f"\nwrote {out_path} "
+        f"({len(payload['traceEvents'])} events; load it in "
+        "chrome://tracing or https://ui.perfetto.dev)"
+    )
+    if args.jsonl:
+        print(f"wrote {args.jsonl}")
     return 0
 
 
@@ -227,6 +327,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-method cycle profile",
     )
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one app under tracing and export Chrome trace JSON",
+    )
+    p.add_argument(
+        "target",
+        help="suite app name (e.g. mandelbrot) or a Lime source file",
+    )
+    p.add_argument(
+        "--entry",
+        help="qualified entry point (required for .lime files; "
+        "overrides the suite default workload)",
+    )
+    p.add_argument("args", nargs="*", help="argument literals for --entry")
+    p.add_argument("--no-gpu", action="store_true")
+    p.add_argument("--no-fpga", action="store_true")
+    p.add_argument("--fpga-pipelined", action="store_true")
+    p.add_argument("--cpu-only", action="store_true")
+    p.add_argument(
+        "--scheduler",
+        choices=("threaded", "sequential"),
+        default="threaded",
+    )
+    p.add_argument(
+        "-o",
+        "--out",
+        help="Chrome trace output path (default: <app>.trace.json)",
+    )
+    p.add_argument("--jsonl", help="also write a JSON-lines trace here")
+    p.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the span tree to stdout as well",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("format", help="pretty-print (normalize) a source file")
     common(p)

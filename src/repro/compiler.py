@@ -7,14 +7,23 @@ program; the backend device compilers (OpenCL for GPUs, Verilog for
 FPGAs) each compile the task sub-graphs they support. The result feeds
 the runtime's artifact store for task substitution.
 
+Compilation knobs live in the frozen :class:`CompileOptions` object —
+``compile_program(source, options=CompileOptions(...))``. The legacy
+keyword form (``compile_program(source, enable_gpu=False)``) still
+works through a deprecation shim that maps the kwargs onto
+:class:`CompileOptions` and emits :class:`DeprecationWarning`.
+
 ``compile_report`` renders the textual equivalent of the toolchain
 overview — which tasks got which artifacts and why others were
 excluded (the information the Eclipse IDE plugin surfaces as editor
-markers in Figure 4).
+markers in Figure 4). Pass ``trace=`` to append the recorded span
+tree of the compilation.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 
 from repro.backends.bytecode.compiler import compile_module, make_cpu_artifact
@@ -23,6 +32,49 @@ from repro.backends.opencl.compiler import compile_gpu
 from repro.backends.verilog.compiler import compile_fpga
 from repro.ir import build_ir
 from repro.lime import analyze
+from repro.obs.tracer import NULL_TRACER
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Immutable compilation knobs.
+
+    Frozen so one options object can be shared between cached
+    compilations and threads; derive variants with :meth:`replace`.
+    ``tracer`` threads a :class:`repro.obs.Tracer` through the driver
+    and all three backends (``compile.*`` spans); the default null
+    tracer records nothing and costs nothing.
+    """
+
+    enable_gpu: bool = True
+    enable_fpga: bool = True
+    fpga_pipelined: bool = False
+    fpga_max_stage_depth: "int | None" = None
+    run_optimizations: bool = True
+    tracer: object = NULL_TRACER
+
+    def replace(self, **overrides) -> "CompileOptions":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **overrides)
+
+    def legacy_dict(self) -> dict:
+        """The pre-redesign ``CompileResult.options`` dict."""
+        return {
+            "enable_gpu": self.enable_gpu,
+            "enable_fpga": self.enable_fpga,
+            "fpga_pipelined": self.fpga_pipelined,
+            "fpga_max_stage_depth": self.fpga_max_stage_depth,
+        }
+
+
+#: Keyword names accepted by the deprecation shim.
+_LEGACY_OPTION_NAMES = (
+    "enable_gpu",
+    "enable_fpga",
+    "fpga_pipelined",
+    "fpga_max_stage_depth",
+    "run_optimizations",
+)
 
 
 @dataclass
@@ -37,6 +89,7 @@ class CompileResult:
     gpu_backend: object = None
     fpga_backend: object = None
     options: dict = field(default_factory=dict)
+    compile_options: "CompileOptions | None" = None
 
     @property
     def bytecode_program(self):
@@ -45,6 +98,14 @@ class CompileResult:
     @property
     def task_graphs(self) -> list:
         return self.module.task_graphs
+
+    @property
+    def tracer(self):
+        """The tracer the compilation recorded into (null when
+        tracing was disabled)."""
+        if self.compile_options is None:
+            return NULL_TRACER
+        return self.compile_options.tracer
 
     def artifact_texts(self, device: str) -> dict:
         """Generated source text per artifact id for one device."""
@@ -55,39 +116,95 @@ class CompileResult:
         }
 
 
+def _resolve_options(options, legacy_kwargs) -> CompileOptions:
+    """Fold legacy kwargs onto a CompileOptions, warning once."""
+    if legacy_kwargs:
+        unknown = set(legacy_kwargs) - set(_LEGACY_OPTION_NAMES)
+        if unknown:
+            raise TypeError(
+                "compile_program() got unexpected keyword arguments: "
+                + ", ".join(sorted(unknown))
+            )
+        warnings.warn(
+            "passing compilation flags as keyword arguments "
+            f"({', '.join(sorted(legacy_kwargs))}) is deprecated; use "
+            "compile_program(source, options=CompileOptions(...))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return (options or CompileOptions()).replace(**legacy_kwargs)
+    return options or CompileOptions()
+
+
 def compile_program(
     source: str,
     filename: str = "<lime>",
-    enable_gpu: bool = True,
-    enable_fpga: bool = True,
-    fpga_pipelined: bool = False,
-    fpga_max_stage_depth: "int | None" = None,
-    run_optimizations: bool = True,
+    options: "CompileOptions | None" = None,
+    **legacy_kwargs,
 ) -> CompileResult:
     """Run the whole toolchain over Lime source text."""
-    checked = analyze(source, filename)
-    module = build_ir(checked, run_optimizations=run_optimizations)
-    store = ArtifactStore()
-    cpu_artifact = make_cpu_artifact(module)
-    store.add(cpu_artifact)
-    gpu_backend = None
-    fpga_backend = None
-    if enable_gpu:
-        gpu_backend = compile_gpu(module)
-        for artifact in gpu_backend.artifacts:
-            store.add(artifact)
-        for exclusion in gpu_backend.exclusions:
-            store.add_exclusion(exclusion)
-    if enable_fpga:
-        fpga_backend = compile_fpga(
-            module,
-            pipelined=fpga_pipelined,
-            max_stage_depth=fpga_max_stage_depth,
+    options = _resolve_options(options, legacy_kwargs)
+    tracer = options.tracer
+    counters = tracer.counters
+    with tracer.span(
+        "compile", filename=filename, source_chars=len(source)
+    ) as compile_span:
+        with tracer.span("compile.frontend", filename=filename):
+            checked = analyze(source, filename)
+        with tracer.span(
+            "compile.ir", run_optimizations=options.run_optimizations
+        ) as ir_span:
+            module = build_ir(
+                checked, run_optimizations=options.run_optimizations
+            )
+            ir_span.set(
+                functions=len(module.functions),
+                task_graphs=len(module.task_graphs),
+            )
+        store = ArtifactStore()
+        with tracer.span("compile.backend.bytecode") as bc_span:
+            cpu_artifact = make_cpu_artifact(module)
+            bc_span.set(
+                functions=len(cpu_artifact.payload.functions),
+                artifact_id=cpu_artifact.artifact_id,
+            )
+        store.add(cpu_artifact)
+        gpu_backend = None
+        fpga_backend = None
+        if options.enable_gpu:
+            with tracer.span("compile.backend.opencl") as gpu_span:
+                gpu_backend = compile_gpu(module, tracer=tracer)
+                gpu_span.set(
+                    artifacts=len(gpu_backend.artifacts),
+                    exclusions=len(gpu_backend.exclusions),
+                )
+            for artifact in gpu_backend.artifacts:
+                store.add(artifact)
+            for exclusion in gpu_backend.exclusions:
+                store.add_exclusion(exclusion)
+        if options.enable_fpga:
+            with tracer.span(
+                "compile.backend.verilog", pipelined=options.fpga_pipelined
+            ) as fpga_span:
+                fpga_backend = compile_fpga(
+                    module,
+                    pipelined=options.fpga_pipelined,
+                    max_stage_depth=options.fpga_max_stage_depth,
+                    tracer=tracer,
+                )
+                fpga_span.set(
+                    artifacts=len(fpga_backend.artifacts),
+                    exclusions=len(fpga_backend.exclusions),
+                )
+            for artifact in fpga_backend.artifacts:
+                store.add(artifact)
+            for exclusion in fpga_backend.exclusions:
+                store.add_exclusion(exclusion)
+        for exclusion in store.exclusions:
+            counters.add(f"compile.exclude[{exclusion.device}] {exclusion.reason}")
+        compile_span.set(
+            artifacts=len(store), exclusions=len(store.exclusions)
         )
-        for artifact in fpga_backend.artifacts:
-            store.add(artifact)
-        for exclusion in fpga_backend.exclusions:
-            store.add_exclusion(exclusion)
     return CompileResult(
         source=source,
         checked=checked,
@@ -96,17 +213,18 @@ def compile_program(
         store=store,
         gpu_backend=gpu_backend,
         fpga_backend=fpga_backend,
-        options={
-            "enable_gpu": enable_gpu,
-            "enable_fpga": enable_fpga,
-            "fpga_pipelined": fpga_pipelined,
-            "fpga_max_stage_depth": fpga_max_stage_depth,
-        },
+        options=options.legacy_dict(),
+        compile_options=options,
     )
 
 
-def compile_report(result: CompileResult) -> str:
-    """Human-readable toolchain summary (Experiment E2)."""
+def compile_report(result: CompileResult, trace=None) -> str:
+    """Human-readable toolchain summary (Experiment E2).
+
+    ``trace`` appends the recorded compile/run span tree: pass a
+    :class:`repro.obs.Tracer`, or ``True`` to use the tracer the
+    compilation itself recorded into.
+    """
     lines = ["Liquid Metal compilation report", "=" * 34, ""]
     lines.append("task graphs:")
     if not result.task_graphs:
@@ -131,4 +249,12 @@ def compile_report(result: CompileResult) -> str:
             f"  [{exclusion.device:8s}] {exclusion.task_id}: "
             f"{exclusion.reason}"
         )
+    tracer = result.tracer if trace is True else trace
+    if tracer is not None and getattr(tracer, "enabled", False):
+        from repro.obs.export import render_span_tree
+
+        lines.append("")
+        lines.append("trace:")
+        for line in render_span_tree(tracer).splitlines():
+            lines.append("  " + line)
     return "\n".join(lines)

@@ -96,6 +96,17 @@ class ExclusionNotice(LiquidMetalError):
         super().__init__(reason)
 
 
+class ConfigurationError(LiquidMetalError):
+    """Invalid compiler or runtime configuration (caught at
+    construction time by ``RuntimeConfig.validate`` /
+    ``CompileOptions`` rather than deep inside the engine)."""
+
+
+class TraceExportError(LiquidMetalError):
+    """An exported trace failed schema validation or could not be
+    read back (the ``make trace-smoke`` gate)."""
+
+
 class RuntimeGraphError(LiquidMetalError):
     """Error while constructing or executing a runtime task graph."""
 

@@ -1,0 +1,48 @@
+"""Observability: structured tracing, metrics, and trace exporters.
+
+The subsystem every layer reports into: the compiler driver and the
+three backends open ``compile.*`` spans, the runtime opens ``run.*``
+spans (substitution planning, offloads, marshaling crossings, graph
+stages), and counters accumulate decision statistics. Export the
+result to Chrome ``trace_event`` JSON (``chrome://tracing`` /
+Perfetto) or JSON-lines.
+
+Tracing is off by default and costs nothing when off: pass a
+:class:`Tracer` via ``CompileOptions(tracer=...)`` and
+``RuntimeConfig(tracer=...)`` to turn it on; the default
+:data:`NULL_TRACER` swallows every call without allocating.
+"""
+
+from repro.obs.export import (
+    render_span_tree,
+    to_chrome_trace,
+    to_json_lines,
+    validate_trace_events,
+    validate_trace_file,
+    write_chrome_trace,
+    write_json_lines,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Counters,
+    NullTracer,
+    Span,
+    Tracer,
+    as_tracer,
+)
+
+__all__ = [
+    "Counters",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "as_tracer",
+    "render_span_tree",
+    "to_chrome_trace",
+    "to_json_lines",
+    "validate_trace_events",
+    "validate_trace_file",
+    "write_chrome_trace",
+    "write_json_lines",
+]

@@ -1,0 +1,248 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSON-lines.
+
+The Chrome format (one "X" complete event per span) loads directly in
+``chrome://tracing`` and in Perfetto (https://ui.perfetto.dev), giving
+a flame view of compile phases, substitution planning, offloads, and
+marshaling crossings per thread. The JSON-lines format is the
+machine-diffable equivalent: one object per span, then one per
+counter.
+
+``validate_trace_events`` checks a payload against the subset of the
+trace-event schema we emit, so CI can assert exported traces stay
+loadable (the ``make trace-smoke`` target).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import TraceExportError
+
+#: Event phases we emit / accept: complete, metadata, counter,
+#: begin/end (accepted for forward compatibility), instant.
+_KNOWN_PHASES = {"X", "M", "C", "B", "E", "i"}
+
+
+def _jsonable(value):
+    """Clamp attribute values to what JSON can carry."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def span_to_event(span, pid: int = 1) -> dict:
+    """One finished span as a Chrome 'X' (complete) event."""
+    args = {k: _jsonable(v) for k, v in span.attributes.items()}
+    args["span_id"] = span.span_id
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    return {
+        "name": span.name,
+        "cat": span.name.split(".", 1)[0],
+        "ph": "X",
+        "ts": round(span.start_us, 3),
+        "dur": round(span.duration_us, 3),
+        "pid": pid,
+        "tid": span.thread_id or 0,
+        "args": args,
+    }
+
+
+def to_chrome_trace(tracer, process_name: str = "repro") -> dict:
+    """The full tracer state as a Chrome trace-event payload."""
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    thread_names: dict[int, str] = {}
+    for span in list(tracer.spans):
+        if not span.finished:
+            continue
+        events.append(span_to_event(span))
+        tid = span.thread_id or 0
+        thread_names.setdefault(tid, getattr(span, "thread_name", "") or "")
+    for tid, name in sorted(thread_names.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": name or f"thread-{tid}"},
+            }
+        )
+    counters = tracer.counters.snapshot()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"counters": counters},
+    }
+
+
+def write_chrome_trace(tracer, path: str, process_name: str = "repro") -> dict:
+    """Export to ``path``; returns the payload that was written."""
+    payload = to_chrome_trace(tracer, process_name)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1)
+        f.write("\n")
+    return payload
+
+
+def to_json_lines(tracer) -> str:
+    """One JSON object per line: spans in completion order, then
+    counters. Grep/jq-friendly; every span carries its parent id so
+    the tree is reconstructible."""
+    lines = []
+    for span in list(tracer.spans):
+        if not span.finished:
+            continue
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": span.name,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "start_us": round(span.start_us, 3),
+                    "duration_us": round(span.duration_us, 3),
+                    "thread": span.thread_id or 0,
+                    "attributes": {
+                        k: _jsonable(v) for k, v in span.attributes.items()
+                    },
+                },
+                sort_keys=True,
+            )
+        )
+    for name, value in tracer.counters.snapshot().items():
+        lines.append(
+            json.dumps(
+                {"type": "counter", "name": name, "value": value},
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_json_lines(tracer, path: str) -> str:
+    text = to_json_lines(tracer)
+    with open(path, "w") as f:
+        f.write(text)
+    return text
+
+
+# ----------------------------------------------------------------------
+# Validation (the trace-smoke CI gate)
+# ----------------------------------------------------------------------
+
+
+def validate_trace_events(payload) -> list:
+    """Return a list of problems (empty = valid trace-event payload).
+
+    Checks the envelope plus, per event: required keys, known phase,
+    numeric non-negative timestamps, ``dur`` on complete events, and a
+    JSON-object ``args``.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload.traceEvents must be a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(event.get("name", ""), str):
+            problems.append(f"{where}: name must be a string")
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+        ts = event.get("ts", 0)
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: complete event needs non-negative dur"
+                )
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def validate_trace_file(path: str) -> dict:
+    """Load ``path`` and validate it; raises :class:`TraceExportError`
+    listing every problem, returns the payload when valid."""
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceExportError(f"cannot load trace {path!r}: {exc}") from exc
+    problems = validate_trace_events(payload)
+    if problems:
+        raise TraceExportError(
+            f"{path!r} is not a valid trace-event file:\n  "
+            + "\n  ".join(problems)
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Human-readable rendering (compile_report / CLI)
+# ----------------------------------------------------------------------
+
+
+def render_span_tree(tracer, indent: str = "  ") -> str:
+    """Indented text tree of finished spans with durations and the
+    most useful attributes — the ``compile_report(..., trace=...)``
+    section and the CLI summary."""
+    spans = [s for s in list(tracer.spans) if s.finished]
+    if not spans:
+        return "(no spans recorded)"
+    children: dict = {}
+    by_id = {s.span_id: s for s in spans}
+    roots = []
+    for span in spans:
+        if span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+    lines: list[str] = []
+
+    def render(span, depth):
+        attrs = ", ".join(
+            f"{k}={v}"
+            for k, v in span.attributes.items()
+            if isinstance(v, (str, int, bool))
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(
+            f"{indent * depth}{span.name:<32s} "
+            f"{span.duration_us:>10.1f} us{suffix}"
+        )
+        for child in sorted(
+            children.get(span.span_id, []), key=lambda s: s.start_us
+        ):
+            render(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.start_us):
+        render(root, 0)
+    return "\n".join(lines)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.devices.interconnect import PCIE_GEN2_X16, Link
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.timing import TransferRecord
 from repro.values import deserialize, kind_of, serialize, serializer_for
 
@@ -44,9 +45,11 @@ class MarshalingBoundary:
         self,
         link: Link = PCIE_GEN2_X16,
         costs: BoundaryCosts | None = None,
+        tracer=NULL_TRACER,
     ):
         self.link = link
         self.costs = costs or BoundaryCosts()
+        self.tracer = tracer
         self.log: list[TransferRecord] = []
 
     # ------------------------------------------------------------------
@@ -69,14 +72,38 @@ class MarshalingBoundary:
         """Serialize a Lime value for the device; returns the wire
         bytes and the timing record. The runtime finds the custom
         serializer based on the value's data type (Section 4.3)."""
-        serializer = serializer_for(kind_of(value))
-        data = serializer.serialize(value)
-        return data, self._record("to-device", len(data))
+        with self.tracer.span(
+            "run.marshal.to_device", link=self.link.name
+        ) as span:
+            serializer = serializer_for(kind_of(value))
+            data = serializer.serialize(value)
+            record = self._record("to-device", len(data))
+            span.set(
+                bytes=record.num_bytes,
+                serialize_s=record.serialize_s,
+                link_s=record.link_s,
+            )
+        self.tracer.counters.add(
+            f"marshal.bytes[{self.link.name}]", record.num_bytes
+        )
+        return data, record
 
     def from_device(self, data: bytes) -> "tuple[object, TransferRecord]":
         """Deserialize device results back into a heap value."""
-        value = deserialize(data)
-        return value, self._record("from-device", len(data))
+        with self.tracer.span(
+            "run.marshal.from_device", link=self.link.name
+        ) as span:
+            value = deserialize(data)
+            record = self._record("from-device", len(data))
+            span.set(
+                bytes=record.num_bytes,
+                serialize_s=record.serialize_s,
+                link_s=record.link_s,
+            )
+        self.tracer.counters.add(
+            f"marshal.bytes[{self.link.name}]", record.num_bytes
+        )
+        return value, record
 
     def round_trip(self, value) -> "tuple[object, list]":
         """Serialize out and back (identity at the device): used by

@@ -29,9 +29,19 @@ class SequentialScheduler:
 
     def run_to_completion(self, pipeline: Pipeline, ctx: ExecutionContext) -> None:
         pipeline.validate()
+        tracer = ctx.tracer
         items: list = []
         for task in pipeline.tasks:
-            items = task.process_batch(items, ctx)
+            with tracer.span(
+                "run.graph.stage",
+                task_id=task.task_id,
+                device=task.device,
+                task_kind=task.kind,
+                scheduler=self.name,
+                in_items=len(items),
+            ) as span:
+                items = task.process_batch(items, ctx)
+                span.set(out_items=len(items))
         pipeline.started = True
 
     def join(self, pipeline: Pipeline) -> None:
@@ -51,10 +61,31 @@ class ThreadedScheduler:
         pipeline.validate()
         pipeline.wire(self.queue_capacity)
         errors: list = []
+        tracer = ctx.tracer
+        # Stage spans run on worker threads; capture the graph span on
+        # the scheduling thread so they nest under it explicitly.
+        parent = tracer.current()
 
         def runner(task):
             try:
-                task.run(ctx)
+                with tracer.span(
+                    "run.graph.stage",
+                    parent=parent,
+                    task_id=task.task_id,
+                    device=task.device,
+                    task_kind=task.kind,
+                    scheduler=self.name,
+                    queue_capacity=self.queue_capacity,
+                ) as span:
+                    task.run(ctx)
+                    stage = ctx.graph_run.stages.get(task.task_id)
+                    if stage is not None:
+                        span.set(items=stage.items, busy_s=stage.busy_s)
+                    if task.output_conn is not None:
+                        span.set(
+                            out_items=task.output_conn.items_transferred,
+                            queue_depth=task.output_conn.approximate_depth,
+                        )
             except BaseException as exc:  # propagate to finish()
                 errors.append(exc)
                 # Unblock downstream by closing our output if any.

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.backends.common import BYTECODE, FPGA, GPU, ArtifactStore
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.graph import Pipeline
 from repro.runtime.tasks import DeviceTask
 
@@ -43,6 +44,11 @@ class SubstitutionPolicy:
     # Runtime adaptation (paper future work): substitute an adaptive
     # task that probes CPU vs device online and migrates to the winner.
     adaptive: bool = False
+
+    def __post_init__(self):
+        # Defensive copy: two Runtimes sharing one policy must not
+        # observe each other's directive mutations.
+        self.directives = dict(self.directives)
 
     def allows(self, artifact, covered_ids: list) -> bool:
         for task_id in covered_ids:
@@ -70,14 +76,19 @@ def plan_substitutions(
     store: ArtifactStore,
     policy: SubstitutionPolicy,
     cost_estimator=None,
+    counters=None,
 ) -> list:
     """Choose non-overlapping artifact substitutions for a pipeline.
 
     Returns a list of :class:`SubstitutionDecision` ordered by start
     index. ``cost_estimator(artifact, covered_ids) -> (transfer_s,
-    cpu_s)`` enables the communication-aware mode.
+    cpu_s)`` enables the communication-aware mode. ``counters`` (a
+    :class:`repro.obs.Counters`) accumulates which policy rule decided
+    each candidate's fate.
     """
+    counters = NULL_TRACER.counters if counters is None else counters
     if not policy.use_accelerators:
+        counters.add("substitution.skipped[accelerators-disabled]")
         return []
     task_ids = pipeline.task_ids()
     candidates = []
@@ -85,8 +96,10 @@ def plan_substitutions(
         for start, artifact in store.spans(task_ids, device):
             covered = artifact.manifest.task_ids
             if not policy.allows(artifact, covered):
+                counters.add("substitution.rejected[directive]")
                 continue
             candidates.append((len(covered), -rank, start, artifact))
+    counters.add("substitution.candidates", len(candidates))
     # Primitive algorithm: prefer larger; ties by device order, then
     # leftmost.
     candidates.sort(
@@ -98,23 +111,30 @@ def plan_substitutions(
     for size, _, start, artifact in candidates:
         span = set(range(start, start + size))
         if span & taken:
+            counters.add("substitution.rejected[overlap]")
             continue
         covered = artifact.manifest.task_ids
+        reason = (
+            "prefer-larger" if policy.prefer_larger else "prefer-smaller"
+        )
         if policy.communication_aware and cost_estimator is not None:
             transfer_s, cpu_s = cost_estimator(artifact, covered)
             if transfer_s > policy.benefit_ratio * cpu_s:
-                decisions_reason = (
-                    f"rejected: transfer {transfer_s:.3g}s exceeds "
-                    f"{policy.benefit_ratio}x cpu {cpu_s:.3g}s"
-                )
+                counters.add("substitution.rejected[communication]")
                 continue
+            reason = (
+                f"communication-aware: transfer {transfer_s:.3g}s <= "
+                f"{policy.benefit_ratio}x cpu {cpu_s:.3g}s"
+            )
         taken |= span
+        counters.add(f"substitution.taken[{artifact.device}]")
         decisions.append(
             SubstitutionDecision(
                 artifact_id=artifact.artifact_id,
                 device=artifact.device,
                 start_index=start,
                 covered_task_ids=list(covered),
+                reason=reason,
             )
         )
     decisions.sort(key=lambda d: d.start_index)

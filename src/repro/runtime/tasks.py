@@ -35,6 +35,15 @@ class ExecutionContext:
     def seconds_for_cycles(self, cycles: int) -> float:
         return self.engine.ledger.cycles_to_seconds(cycles)
 
+    @property
+    def tracer(self):
+        """The engine's tracer (null when tracing is disabled or when
+        the engine is a bare test stub)."""
+        from repro.obs.tracer import NULL_TRACER
+
+        config = getattr(self.engine, "config", None)
+        return getattr(config, "tracer", None) or NULL_TRACER
+
 
 class Task:
     kind = "task"

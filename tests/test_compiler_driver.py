@@ -3,7 +3,11 @@
 import pytest
 
 from tests.lime_sources import FIGURE1, SAXPY
-from repro.compiler import compile_program, compile_report
+from repro.compiler import (
+    CompileOptions,
+    compile_program,
+    compile_report,
+)
 
 
 class TestCompileResult:
@@ -26,18 +30,24 @@ class TestCompileResult:
         assert manifest.device == "bytecode"
 
     def test_disable_gpu(self):
-        result = compile_program(FIGURE1, enable_gpu=False)
+        result = compile_program(
+            FIGURE1, options=CompileOptions(enable_gpu=False)
+        )
         assert result.gpu_backend is None
         assert result.store.for_device("gpu") == []
         assert result.store.for_device("fpga")  # unaffected
 
     def test_disable_fpga(self):
-        result = compile_program(FIGURE1, enable_fpga=False)
+        result = compile_program(
+            FIGURE1, options=CompileOptions(enable_fpga=False)
+        )
         assert result.fpga_backend is None
         assert result.store.for_device("fpga") == []
 
     def test_options_recorded(self):
-        result = compile_program(FIGURE1, fpga_pipelined=True)
+        result = compile_program(
+            FIGURE1, options=CompileOptions(fpga_pipelined=True)
+        )
         assert result.options["fpga_pipelined"] is True
         (artifact,) = result.store.for_device("fpga")
         assert artifact.manifest.properties["pipelined"] is True
@@ -49,7 +59,9 @@ class TestCompileResult:
         assert "__kernel" in texts["gpu:map:Saxpy.axpy"]
 
     def test_unoptimized_compilation(self):
-        result = compile_program(FIGURE1, run_optimizations=False)
+        result = compile_program(
+            FIGURE1, options=CompileOptions(run_optimizations=False)
+        )
         assert result.bytecode_program.functions
 
     def test_filename_in_errors(self):

@@ -9,7 +9,7 @@ what a behavioral synthesis flow does when it retimes.
 import pytest
 
 from repro.apps import SUITE
-from repro.compiler import compile_program
+from repro.compiler import CompileOptions, compile_program
 from repro.devices.fpga import FPGASimulator
 from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
 from repro.values import KIND_INT, ValueArray
@@ -18,7 +18,9 @@ CRC_SOURCE = SUITE["crc8"].source
 
 
 def crc_bundle(**options):
-    compiled = compile_program(CRC_SOURCE, **options)
+    compiled = compile_program(
+        CRC_SOURCE, options=CompileOptions(**options)
+    )
     (artifact,) = compiled.store.for_device("fpga")
     return artifact.payload
 
@@ -82,7 +84,10 @@ class TestRetiming:
         """II=1 + retiming: deep logic at ~1 item/cycle with a higher
         modeled clock."""
         compiled = compile_program(
-            CRC_SOURCE, fpga_pipelined=True, fpga_max_stage_depth=6
+            CRC_SOURCE,
+            options=CompileOptions(
+                fpga_pipelined=True, fpga_max_stage_depth=6
+            ),
         )
         (artifact,) = compiled.store.for_device("fpga")
         bundle = artifact.payload
@@ -97,7 +102,7 @@ class TestRetiming:
 
     def test_end_to_end_through_runtime(self):
         compiled = compile_program(
-            CRC_SOURCE, fpga_max_stage_depth=6
+            CRC_SOURCE, options=CompileOptions(fpga_max_stage_depth=6)
         )
         crc_id = compiled.task_graphs[0].stages[1].task_id
         runtime = Runtime(
@@ -115,7 +120,9 @@ class TestRetiming:
         """Higher Fmax wins once the stream amortizes the latency."""
 
         def simulated_time(**options):
-            compiled = compile_program(CRC_SOURCE, **options)
+            compiled = compile_program(
+                CRC_SOURCE, options=CompileOptions(**options)
+            )
             crc_id = compiled.task_graphs[0].stages[1].task_id
             runtime = Runtime(
                 compiled,
