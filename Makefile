@@ -2,9 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples trace-smoke all clean
+.PHONY: test bench examples trace-smoke fault-smoke all clean
 
-test: trace-smoke
+test: trace-smoke fault-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -30,6 +30,17 @@ trace-smoke:
 	from repro.obs import validate_trace_file; \
 	validate_trace_file('benchmarks/out/trace_smoke.json'); \
 	print('trace-smoke: benchmarks/out/trace_smoke.json valid')"
+
+# Kill every accelerator call against a GPU map app and an FPGA stream
+# app: both runs must still produce output identical to a cpu-only run,
+# with at least one recorded demotion to bytecode (docs/RESILIENCE.md).
+fault-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro faults mandelbrot \
+		--plan examples/fault_plans/kill_devices.json \
+		--require-demotions 1
+	PYTHONPATH=src $(PYTHON) -m repro faults bitflip \
+		--plan examples/fault_plans/kill_devices.json \
+		--require-demotions 1
 
 all: test bench
 

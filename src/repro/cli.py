@@ -123,10 +123,49 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
-    """Compile and run one app under tracing; export Chrome trace JSON."""
+def _resolve_target(args):
+    """Resolve a CLI target (suite app name or ``.lime`` file) into
+    ``(source, filename, name, entry, values)``; ``None`` after
+    printing an error. Shared by ``trace`` and ``faults``."""
     import os
 
+    if os.path.exists(args.target) or args.target.endswith(".lime"):
+        if not args.entry:
+            print(
+                "error: a .lime file target requires --entry",
+                file=sys.stderr,
+            )
+            return None
+        with open(args.target) as f:
+            source = f.read()
+        name = os.path.splitext(os.path.basename(args.target))[0]
+        return (
+            source,
+            args.target,
+            name,
+            args.entry,
+            [_parse_value(a) for a in args.args],
+        )
+    from repro.apps import SUITE
+
+    if args.target not in SUITE:
+        known = ", ".join(sorted(SUITE))
+        print(
+            f"error: {args.target!r} is neither a file nor a suite "
+            f"app (known apps: {known})",
+            file=sys.stderr,
+        )
+        return None
+    spec = SUITE[args.target]
+    entry, values = spec.default_args()
+    if args.entry:
+        entry = args.entry
+        values = [_parse_value(a) for a in args.args]
+    return spec.source, f"<{spec.name}.lime>", spec.name, entry, values
+
+
+def _cmd_trace(args) -> int:
+    """Compile and run one app under tracing; export Chrome trace JSON."""
     from repro.obs import Tracer
     from repro.obs.export import (
         render_span_tree,
@@ -137,37 +176,10 @@ def _cmd_trace(args) -> int:
     from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
 
     tracer = Tracer()
-    if os.path.exists(args.target) or args.target.endswith(".lime"):
-        if not args.entry:
-            print(
-                "error: tracing a .lime file requires --entry", file=sys.stderr
-            )
-            return 2
-        with open(args.target) as f:
-            source = f.read()
-        name = os.path.splitext(os.path.basename(args.target))[0]
-        filename = args.target
-        entry = args.entry
-        values = [_parse_value(a) for a in args.args]
-    else:
-        from repro.apps import SUITE
-
-        if args.target not in SUITE:
-            known = ", ".join(sorted(SUITE))
-            print(
-                f"error: {args.target!r} is neither a file nor a suite "
-                f"app (known apps: {known})",
-                file=sys.stderr,
-            )
-            return 2
-        spec = SUITE[args.target]
-        source = spec.source
-        name = spec.name
-        filename = f"<{name}.lime>"
-        entry, values = spec.default_args()
-        if args.entry:
-            entry = args.entry
-            values = [_parse_value(a) for a in args.args]
+    resolved = _resolve_target(args)
+    if resolved is None:
+        return 2
+    source, filename, name, entry, values = resolved
     options = _options(args, tracer=tracer)
     compiled = compile_program(source, filename=filename, options=options)
     policy = SubstitutionPolicy(use_accelerators=not args.cpu_only)
@@ -210,6 +222,116 @@ def _cmd_trace(args) -> int:
     if args.jsonl:
         print(f"wrote {args.jsonl}")
     return 0
+
+
+def _cmd_faults(args) -> int:
+    """Run an app under a fault plan and verify graceful degradation:
+    the faulted run must produce output identical to a cpu-only run,
+    with the recovery visible in the counters."""
+    from repro.obs import Tracer
+    from repro.runtime import (
+        FaultPlan,
+        RetryPolicy,
+        Runtime,
+        RuntimeConfig,
+        SubstitutionPolicy,
+        kill_all_devices_plan,
+        load_fault_plan,
+    )
+
+    resolved = _resolve_target(args)
+    if resolved is None:
+        return 2
+    source, filename, name, entry, values = resolved
+    if args.plan:
+        plan = load_fault_plan(args.plan)
+    else:
+        plan = kill_all_devices_plan()
+    if args.seed is not None:
+        plan = FaultPlan(plan.specs, seed=args.seed)
+
+    compiled = compile_program(
+        source, filename=filename, options=_options(args)
+    )
+
+    # Reference: accelerators disabled — the pure-bytecode answer the
+    # degraded run must reproduce exactly.
+    reference = Runtime(
+        compiled,
+        RuntimeConfig(
+            policy=SubstitutionPolicy(use_accelerators=False),
+            scheduler=args.scheduler,
+        ),
+    ).run(entry, values)
+
+    tracer = Tracer()
+    runtime = Runtime(
+        compiled,
+        RuntimeConfig(
+            scheduler=args.scheduler,
+            tracer=tracer,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+        ),
+    )
+    outcome = runtime.run(entry, values)
+
+    injected = runtime.faults.fired()
+    demotions = len(runtime.demotion_log)
+    counters = tracer.counters.snapshot()
+    print(f"app: {name}  entry: {entry}")
+    print(
+        f"plan: {args.plan or '<kill-all-devices>'} "
+        f"(seed={plan.seed}, {len(plan)} spec(s))"
+    )
+    print(
+        f"faults injected: {injected}; "
+        f"retries: {counters.get('retry.attempt', 0):g}; "
+        f"demotions to bytecode: {demotions}"
+    )
+    resilience = {
+        k: v
+        for k, v in counters.items()
+        if k.startswith(("fault.", "retry.", "demotion."))
+    }
+    if resilience:
+        print("counters:")
+        for cname, value in resilience.items():
+            print(f"  {value:>12g}  {cname}")
+    for record in runtime.demotion_log:
+        print(
+            f"  demoted {record.task_id} ({record.device}) after "
+            f"{record.attempts} attempt(s): {record.error}"
+        )
+
+    ok = True
+    if outcome.output != reference.output or not _values_equal(
+        outcome.value, reference.value
+    ):
+        print(
+            "FAIL: degraded output differs from the cpu-only reference",
+            file=sys.stderr,
+        )
+        ok = False
+    else:
+        print("output matches the cpu-only reference")
+    if demotions < args.require_demotions:
+        print(
+            f"FAIL: expected >= {args.require_demotions} demotion(s), "
+            f"saw {demotions}",
+            file=sys.stderr,
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+def _values_equal(left, right) -> bool:
+    if left is None and right is None:
+        return True
+    try:
+        return bool(left == right)
+    except Exception:
+        return repr(left) == repr(right)
 
 
 def _cmd_format(args) -> int:
@@ -363,6 +485,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the span tree to stdout as well",
     )
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "faults",
+        help="run an app under a fault plan and verify graceful "
+        "degradation to bytecode",
+    )
+    p.add_argument(
+        "target",
+        help="suite app name (e.g. mandelbrot) or a Lime source file",
+    )
+    p.add_argument(
+        "--entry",
+        help="qualified entry point (required for .lime files; "
+        "overrides the suite default workload)",
+    )
+    p.add_argument("args", nargs="*", help="argument literals for --entry")
+    p.add_argument("--no-gpu", action="store_true")
+    p.add_argument("--no-fpga", action="store_true")
+    p.add_argument("--fpga-pipelined", action="store_true")
+    p.add_argument(
+        "--plan",
+        help="fault plan JSON file (default: kill every device call)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None, help="override the plan's RNG seed"
+    )
+    p.add_argument(
+        "--scheduler",
+        choices=("threaded", "sequential"),
+        default="threaded",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        help="retry attempts per device call before demotion",
+    )
+    p.add_argument(
+        "--require-demotions",
+        type=int,
+        default=0,
+        help="fail unless at least this many demotions were recorded",
+    )
+    p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("format", help="pretty-print (normalize) a source file")
     common(p)

@@ -124,6 +124,36 @@ class SimulationError(DeviceError):
     combinational loop or an X-valued control signal)."""
 
 
+class DeviceTimeoutError(DeviceError):
+    """A device task stalled past its watchdog deadline.
+
+    Raised by the :class:`~repro.runtime.scheduler.ThreadedScheduler`
+    stage watchdog and by injected stage-stall faults. Carries the
+    stage/device so the supervisor can demote the right span.
+    """
+
+    def __init__(self, message: str, task_id: str | None = None,
+                 device: str | None = None):
+        self.task_id = task_id
+        self.device = device
+        super().__init__(message)
+
+
+class RetryExhaustedError(LiquidMetalError):
+    """The supervisor gave up retrying a device task and no bytecode
+    fallback was available. Carries the failing task/device context and
+    the last underlying error (also chained via ``__cause__``)."""
+
+    def __init__(self, message: str, task_id: str | None = None,
+                 device: str | None = None, attempts: int = 0,
+                 cause: "BaseException | None" = None):
+        self.task_id = task_id
+        self.device = device
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(message)
+
+
 class ValueSemanticsError(LiquidMetalError):
     """Attempt to violate value semantics at run time (e.g. mutating a
     value array)."""

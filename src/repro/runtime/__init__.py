@@ -1,8 +1,17 @@
 """The Liquid Metal runtime: task graphs, scheduling, substitution,
-marshaling, and the co-execution engine."""
+marshaling, fault injection/supervision, and the co-execution engine."""
 
 from repro.runtime.adaptive import AdaptationRecord, AdaptiveTask
 from repro.runtime.engine import Runtime, RuntimeConfig, RunOutcome
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    NULL_INJECTOR,
+    kill_all_devices_plan,
+    load_fault_plan,
+)
 from repro.runtime.graph import Pipeline
 from repro.runtime.marshaling import BoundaryCosts, MarshalingBoundary
 from repro.runtime.queues import END_OF_STREAM, Connection
@@ -11,6 +20,11 @@ from repro.runtime.substitution import (
     SubstitutionPolicy,
     apply_substitutions,
     plan_substitutions,
+)
+from repro.runtime.supervisor import (
+    DemotionRecord,
+    RetryPolicy,
+    Supervisor,
 )
 from repro.runtime.tasks import (
     DeviceTask,
@@ -25,11 +39,18 @@ __all__ = [
     "AdaptiveTask",
     "BoundaryCosts",
     "Connection",
+    "DemotionRecord",
     "DeviceTask",
     "END_OF_STREAM",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FilterTask",
+    "InjectedFault",
     "MarshalingBoundary",
+    "NULL_INJECTOR",
     "Pipeline",
+    "RetryPolicy",
     "RunOutcome",
     "Runtime",
     "RuntimeConfig",
@@ -37,8 +58,11 @@ __all__ = [
     "SinkTask",
     "SourceTask",
     "SubstitutionPolicy",
+    "Supervisor",
     "ThreadedScheduler",
     "TimingLedger",
     "apply_substitutions",
+    "kill_all_devices_plan",
+    "load_fault_plan",
     "plan_substitutions",
 ]

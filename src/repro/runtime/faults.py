@@ -1,0 +1,339 @@
+"""Deterministic fault injection for the runtime.
+
+The paper's artifact model keeps bytecode as the universally available
+implementation of every task (Section 4.1), which means a device
+failure should never be fatal — the runtime can always re-substitute
+the affected span back onto the host. This module provides the harness
+that *proves* that property: a :class:`FaultPlan` describes faults to
+inject into device executors and marshaling boundaries — by task or
+artifact id, by call count, or probabilistically with a seeded RNG —
+and a :class:`FaultInjector` fires them deterministically, recording
+every injection through the tracer's counters so a traced run shows
+exactly which faults fired and how the supervisor recovered.
+
+Determinism is a hard requirement (the fault harness is itself under
+test): there is no wall-clock randomness anywhere. Each spec owns its
+own xorshift RNG seeded from ``(plan.seed, spec_index)``, so the
+sequence of probabilistic decisions depends only on how many times that
+spec's site was hit, never on thread interleaving between specs.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ConfigurationError,
+    DeviceError,
+    DeviceTimeoutError,
+    MarshalingError,
+)
+from repro.obs.tracer import NULL_TRACER
+
+#: Injection sites the runtime consults.
+SITES = (
+    "device",               # inside a GPU/FPGA executor, before the kernel
+    "marshal.to_device",    # host -> device serialization boundary
+    "marshal.from_device",  # device -> host deserialization boundary
+)
+
+#: Fault kinds a spec can inject.
+ERRORS = (
+    "device",      # raises DeviceError (retryable by default)
+    "marshaling",  # raises MarshalingError (retryable by default)
+    "timeout",     # raises DeviceTimeoutError (demotes immediately)
+    "stall",       # sleeps stall_s without raising (trips the watchdog)
+)
+
+
+class _XorShift:
+    """Tiny deterministic PRNG (xorshift32) — no wall-clock entropy."""
+
+    def __init__(self, seed: int):
+        self.state = seed & 0xFFFFFFFF or 1
+
+    def next_u32(self) -> int:
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self.state = x
+        return x
+
+    def random(self) -> float:
+        """A unit float in [0, 1)."""
+        return self.next_u32() / 2**32
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.
+
+    A spec matches a site and a target pattern; among matching calls it
+    fires on the listed 1-based ``on_calls`` indices (every call when
+    empty), with ``probability`` (decided by the plan's seeded RNG),
+    at most ``times`` times (unlimited when ``None``).
+    """
+
+    site: str = "device"
+    error: str = "device"
+    target: str = "*"          # fnmatch over task/artifact ids (device
+                               # site) or boundary name (marshal sites)
+    on_calls: tuple = ()       # 1-based matching-call indices
+    probability: float = 1.0
+    times: "int | None" = None
+    stall_s: float = 0.0       # wall-clock stall for error == 'stall'
+    message: str = ""
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; "
+                f"expected one of {', '.join(SITES)}"
+            )
+        if self.error not in ERRORS:
+            raise ConfigurationError(
+                f"unknown fault error {self.error!r}; "
+                f"expected one of {', '.join(ERRORS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ConfigurationError(
+                f"fault times must be >= 1 (or null), got {self.times}"
+            )
+        if self.stall_s < 0:
+            raise ConfigurationError(
+                f"fault stall_s must be >= 0, got {self.stall_s}"
+            )
+        object.__setattr__(
+            self, "on_calls", tuple(int(c) for c in self.on_calls)
+        )
+        if any(c < 1 for c in self.on_calls):
+            raise ConfigurationError(
+                f"fault on_calls are 1-based, got {self.on_calls}"
+            )
+
+    def matches(self, site: str, targets: list) -> bool:
+        if site != self.site:
+            return False
+        return any(fnmatch.fnmatch(t, self.target) for t in targets)
+
+    def to_dict(self) -> dict:
+        payload = {"site": self.site, "error": self.error,
+                   "target": self.target}
+        if self.on_calls:
+            payload["on_calls"] = list(self.on_calls)
+        if self.probability != 1.0:
+            payload["probability"] = self.probability
+        if self.times is not None:
+            payload["times"] = self.times
+        if self.stall_s:
+            payload["stall_s"] = self.stall_s
+        if self.message:
+            payload["message"] = self.message
+        return payload
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fired fault, as recorded in :attr:`FaultInjector.log`."""
+
+    spec_index: int
+    site: str
+    error: str
+    target: str      # the concrete target that matched, not the pattern
+    call_index: int  # 1-based index among the spec's matching calls
+
+
+class FaultPlan:
+    """An ordered list of :class:`FaultSpec` plus the RNG seed."""
+
+    def __init__(self, specs: list, seed: int = 0):
+        self.specs = list(specs)
+        self.seed = int(seed)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigurationError(
+                    f"fault plan entries must be FaultSpec, got {spec!r}"
+                )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"fault plan must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {"site", "error", "target", "on_calls", "probability",
+                 "times", "stall_s", "message"}
+        specs = []
+        for entry in payload.get("faults", []):
+            fields = {k: v for k, v in entry.items() if k in known}
+            unknown = set(entry) - known - {"comment"}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown fault spec keys: {', '.join(sorted(unknown))}"
+                )
+            if "on_calls" in fields:
+                fields["on_calls"] = tuple(fields["on_calls"])
+            specs.append(FaultSpec(**fields))
+        return cls(specs, seed=payload.get("seed", 0))
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.specs)} specs, seed={self.seed})"
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file."""
+    with open(path) as f:
+        try:
+            payload = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"fault plan {path} is not valid JSON: {exc}"
+            ) from exc
+    return FaultPlan.from_dict(payload)
+
+
+def kill_all_devices_plan(seed: int = 0) -> FaultPlan:
+    """The canonical degradation plan: every accelerator call fails."""
+    return FaultPlan(
+        [FaultSpec(site="device", error="device", target="*")], seed=seed
+    )
+
+
+class FaultInjector:
+    """Fires a :class:`FaultPlan` against one runtime's call stream.
+
+    The runtime consults :meth:`check` at each injection site. Call
+    counting is per spec (a call increments a spec's counter only when
+    the spec matches it), so two specs never perturb each other's
+    call indices or RNG draws.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan, tracer=NULL_TRACER):
+        self.plan = plan
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._calls: dict[int, int] = {}
+        self._fires: dict[int, int] = {}
+        self._rngs = [
+            _XorShift((plan.seed << 4) ^ (0x9E3779B9 * (index + 1)))
+            for index in range(len(plan.specs))
+        ]
+        self.log: list[InjectedFault] = []
+
+    def check(self, site: str, targets: list, device=None, task_id=None):
+        """Raise (or stall) if any spec decides to fire here.
+
+        ``targets`` are the concrete names this call is known by (e.g.
+        an artifact id plus the task ids it covers); a spec matches if
+        its pattern matches any of them.
+        """
+        for index, spec in enumerate(self.plan.specs):
+            if not spec.matches(site, targets):
+                continue
+            with self._lock:
+                call = self._calls.get(index, 0) + 1
+                self._calls[index] = call
+                if spec.on_calls and call not in spec.on_calls:
+                    continue
+                fires = self._fires.get(index, 0)
+                if spec.times is not None and fires >= spec.times:
+                    continue
+                if spec.probability < 1.0:
+                    if self._rngs[index].random() >= spec.probability:
+                        continue
+                self._fires[index] = fires + 1
+                record = InjectedFault(
+                    spec_index=index,
+                    site=site,
+                    error=spec.error,
+                    target=targets[0] if targets else spec.target,
+                    call_index=call,
+                )
+                self.log.append(record)
+            self._fire(spec, record, device=device, task_id=task_id)
+
+    def _fire(self, spec: FaultSpec, record: InjectedFault,
+              device=None, task_id=None) -> None:
+        counters = self.tracer.counters
+        counters.add(f"fault.injected[{spec.error}]")
+        with self.tracer.span(
+            "fault.injected",
+            site=record.site,
+            error=spec.error,
+            target=record.target,
+            call=record.call_index,
+            device=device,
+        ):
+            pass
+        message = spec.message or (
+            f"injected {spec.error} fault at {record.site} "
+            f"on {record.target!r} (call #{record.call_index})"
+        )
+        if spec.error == "device":
+            raise DeviceError(message)
+        if spec.error == "marshaling":
+            raise MarshalingError(message)
+        if spec.error == "timeout":
+            raise DeviceTimeoutError(
+                message, task_id=task_id or record.target, device=device
+            )
+        # 'stall': burn wall-clock time without raising, so the stage
+        # watchdog (not the exception path) has to catch it.
+        if spec.stall_s:
+            time.sleep(spec.stall_s)
+
+    def fired(self) -> int:
+        """Total number of faults injected so far."""
+        return len(self.log)
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector {self.fired()} fired of {self.plan!r}>"
+
+
+class _NullInjector:
+    """No-op injector used when no fault plan is configured."""
+
+    enabled = False
+    log: tuple = ()
+
+    def check(self, site, targets, device=None, task_id=None) -> None:
+        pass
+
+    def fired(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "<NullInjector>"
+
+
+NULL_INJECTOR = _NullInjector()
+
+
+def as_injector(plan_or_injector, tracer=NULL_TRACER):
+    """Normalize a FaultPlan/None/injector to an injector."""
+    if plan_or_injector is None:
+        return NULL_INJECTOR
+    if isinstance(plan_or_injector, FaultPlan):
+        return FaultInjector(plan_or_injector, tracer=tracer)
+    return plan_or_injector

@@ -21,8 +21,11 @@ class Pipeline:
     def __init__(self, tasks: list):
         self.tasks: list[Task] = list(tasks)
         self.started = False
+        self.failed = False
+        self.failure: "BaseException | None" = None
         self.threads: list = []
         self.graph_run = None
+        self._errors: list = []
 
     @staticmethod
     def of(task_or_pipeline) -> "Pipeline":
@@ -84,8 +87,10 @@ class Pipeline:
                 parts.append("sink")
             elif isinstance(task, FilterTask):
                 parts.append(task.method.split(".")[-1])
-            else:
+            elif hasattr(task, "covered_task_ids"):
                 parts.append(f"[{task.device}:{len(task.covered_task_ids)}]")
+            else:
+                parts.append(task.task_id)
         return " => ".join(parts)
 
     def __repr__(self) -> str:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.devices.interconnect import PCIE_GEN2_X16, Link
 from repro.obs.tracer import NULL_TRACER
+from repro.runtime.faults import NULL_INJECTOR
 from repro.runtime.timing import TransferRecord
 from repro.values import deserialize, kind_of, serialize, serializer_for
 
@@ -46,10 +47,16 @@ class MarshalingBoundary:
         link: Link = PCIE_GEN2_X16,
         costs: BoundaryCosts | None = None,
         tracer=NULL_TRACER,
+        injector=NULL_INJECTOR,
+        name: str = "",
     ):
         self.link = link
         self.costs = costs or BoundaryCosts()
         self.tracer = tracer
+        # Fault-injection hook (docs/RESILIENCE.md): marshaling fault
+        # specs target the boundary by name ('gpu'/'fpga') or link.
+        self.injector = injector or NULL_INJECTOR
+        self.name = name or link.name
         self.log: list[TransferRecord] = []
 
     # ------------------------------------------------------------------
@@ -72,6 +79,9 @@ class MarshalingBoundary:
         """Serialize a Lime value for the device; returns the wire
         bytes and the timing record. The runtime finds the custom
         serializer based on the value's data type (Section 4.3)."""
+        self.injector.check(
+            "marshal.to_device", [self.name, self.link.name]
+        )
         with self.tracer.span(
             "run.marshal.to_device", link=self.link.name
         ) as span:
@@ -90,6 +100,9 @@ class MarshalingBoundary:
 
     def from_device(self, data: bytes) -> "tuple[object, TransferRecord]":
         """Deserialize device results back into a heap value."""
+        self.injector.check(
+            "marshal.from_device", [self.name, self.link.name]
+        )
         with self.tracer.span(
             "run.marshal.from_device", link=self.link.name
         ) as span:

@@ -7,15 +7,34 @@ block on the incoming connections until enough data is available"
 whole batch; for linear pipelines the two are observationally
 equivalent, and the sequential one is reproducible to the cycle, which
 the benchmark harness prefers.
+
+Both schedulers participate in the resilience story (see
+``docs/RESILIENCE.md``): a stage failure is surfaced from ``join()``
+with the failing task/device attached, and the threaded scheduler
+optionally runs a per-stage watchdog that turns a stalled device stage
+into a :class:`~repro.errors.DeviceTimeoutError` instead of a hang.
 """
 
 from __future__ import annotations
 
 import threading
 
-from repro.errors import RuntimeGraphError
+from repro.errors import DeviceTimeoutError, RuntimeGraphError
 from repro.runtime.graph import Pipeline
 from repro.runtime.tasks import ExecutionContext
+
+
+def _attach_stage_context(exc: BaseException, task, scheduler: str) -> None:
+    """Annotate a stage failure with the task/device it came from,
+    preserving the original exception type for callers that match on
+    it. Idempotent across repeated ``join()`` calls."""
+    note = (
+        f"in stage {task.task_id!r} on device {task.device!r} "
+        f"({scheduler} scheduler)"
+    )
+    notes = getattr(exc, "__notes__", [])
+    if note not in notes:
+        exc.add_note(note)
 
 
 class SequentialScheduler:
@@ -32,35 +51,59 @@ class SequentialScheduler:
         tracer = ctx.tracer
         items: list = []
         for task in pipeline.tasks:
-            with tracer.span(
-                "run.graph.stage",
-                task_id=task.task_id,
-                device=task.device,
-                task_kind=task.kind,
-                scheduler=self.name,
-                in_items=len(items),
-            ) as span:
-                items = task.process_batch(items, ctx)
-                span.set(out_items=len(items))
+            try:
+                with tracer.span(
+                    "run.graph.stage",
+                    task_id=task.task_id,
+                    device=task.device,
+                    task_kind=task.kind,
+                    scheduler=self.name,
+                    in_items=len(items),
+                ) as span:
+                    items = task.process_batch(items, ctx)
+                    span.set(out_items=len(items))
+            except BaseException as exc:
+                # A mid-stage failure must not leave the pipeline
+                # looking "never started": record it so join() surfaces
+                # the original error instead of a misleading one.
+                pipeline.failed = True
+                pipeline.failure = exc
+                pipeline.started = True
+                _attach_stage_context(exc, task, self.name)
+                raise
         pipeline.started = True
 
     def join(self, pipeline: Pipeline) -> None:
+        if pipeline.failed and pipeline.failure is not None:
+            raise pipeline.failure
         if not pipeline.started:
-            raise RuntimeGraphError("graph was never started")
+            raise RuntimeGraphError(
+                f"graph was never started: {pipeline.describe()}"
+            )
 
 
 class ThreadedScheduler:
-    """One thread per task, blocking FIFO connections in between."""
+    """One thread per task, blocking FIFO connections in between.
+
+    ``stage_timeout_s`` arms a per-stage watchdog: ``join()`` waits at
+    most that long for each stage thread (cumulatively from the point
+    the previous stage finished) and raises
+    :class:`~repro.errors.DeviceTimeoutError` naming the stalled stage.
+    Worker threads are daemonic so a genuinely hung device simulator
+    cannot wedge interpreter shutdown.
+    """
 
     name = "threaded"
 
-    def __init__(self, queue_capacity: int = 64):
+    def __init__(self, queue_capacity: int = 64,
+                 stage_timeout_s: "float | None" = None):
         self.queue_capacity = queue_capacity
+        self.stage_timeout_s = stage_timeout_s
 
     def start(self, pipeline: Pipeline, ctx: ExecutionContext) -> None:
         pipeline.validate()
         pipeline.wire(self.queue_capacity)
-        errors: list = []
+        errors: list = []  # [(task, exception)]
         tracer = ctx.tracer
         # Stage spans run on worker threads; capture the graph span on
         # the scheduling thread so they nest under it explicitly.
@@ -87,14 +130,17 @@ class ThreadedScheduler:
                             queue_depth=task.output_conn.approximate_depth,
                         )
             except BaseException as exc:  # propagate to finish()
-                errors.append(exc)
+                errors.append((task, exc))
                 # Unblock downstream by closing our output if any.
                 if task.output_conn is not None:
                     task.output_conn.close()
 
         pipeline.threads = [
             threading.Thread(
-                target=runner, args=(task,), name=f"lime-{task.task_id}"
+                target=runner,
+                args=(task,),
+                name=f"lime-{task.task_id}",
+                daemon=True,
             )
             for task in pipeline.tasks
         ]
@@ -109,9 +155,29 @@ class ThreadedScheduler:
 
     def join(self, pipeline: Pipeline) -> None:
         if not pipeline.started:
-            raise RuntimeGraphError("graph was never started")
-        for thread in pipeline.threads:
-            thread.join()
-        errors = getattr(pipeline, "_errors", [])
+            raise RuntimeGraphError(
+                f"graph was never started: {pipeline.describe()}"
+            )
+        for thread, task in zip(pipeline.threads, pipeline.tasks):
+            thread.join(self.stage_timeout_s)
+            if thread.is_alive():
+                # The stage watchdog fired: a stage is stalled (hung
+                # kernel, wedged queue). The thread is daemonic, so we
+                # can abandon it and surface the stall.
+                pipeline.failed = True
+                error = DeviceTimeoutError(
+                    f"stage {task.task_id!r} on device {task.device!r} "
+                    f"exceeded the {self.stage_timeout_s}s watchdog "
+                    f"timeout",
+                    task_id=task.task_id,
+                    device=task.device,
+                )
+                pipeline.failure = error
+                raise error
+        errors = pipeline._errors
         if errors:
-            raise errors[0]
+            task, exc = errors[0]
+            pipeline.failed = True
+            pipeline.failure = exc
+            _attach_stage_context(exc, task, self.name)
+            raise exc

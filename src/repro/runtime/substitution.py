@@ -18,9 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.backends.common import BYTECODE, FPGA, GPU, ArtifactStore
+from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.graph import Pipeline
 from repro.runtime.tasks import DeviceTask
+
+#: Device names a directive may name.
+DIRECTIVE_DEVICES = (BYTECODE, GPU, FPGA)
 
 
 @dataclass
@@ -49,6 +53,22 @@ class SubstitutionPolicy:
         # Defensive copy: two Runtimes sharing one policy must not
         # observe each other's directive mutations.
         self.directives = dict(self.directives)
+        # Eager validation: a typo'd device name must fail loudly at
+        # construction, not be silently ignored during substitution.
+        for task_id, device in self.directives.items():
+            if device not in DIRECTIVE_DEVICES:
+                raise ConfigurationError(
+                    f"unknown device {device!r} in directive for task "
+                    f"{task_id!r}; expected one of "
+                    f"{', '.join(DIRECTIVE_DEVICES)}"
+                )
+
+    def demote(self, task_ids: list) -> None:
+        """Pin tasks to bytecode — the runtime re-substitution
+        directive added by the supervisor when a device span has
+        exhausted its retries."""
+        for task_id in task_ids:
+            self.directives[task_id] = BYTECODE
 
     def allows(self, artifact, covered_ids: list) -> bool:
         for task_id in covered_ids:

@@ -1,0 +1,201 @@
+"""Supervised device execution: retry, backoff, and demotion.
+
+The runtime always holds a bytecode artifact for every task
+(Section 4.1), so no device failure needs to be fatal: a failing
+GPU/FPGA executor is retried under a :class:`RetryPolicy`, and when
+retries are exhausted the :class:`Supervisor` performs runtime
+re-substitution — the caller supplies a bytecode fallback built from
+the always-available artifact, the failed batch is replayed on it, and
+the span is demoted (a ``bytecode`` directive is added to the
+substitution policy so later graph runs skip the failed device
+entirely).
+
+Everything here is deterministic: backoff jitter comes from a seeded
+RNG and backoff time is charged as *simulated* seconds (recorded in
+spans and counters), never slept on the wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import (
+    ConfigurationError,
+    DeviceError,
+    DeviceTimeoutError,
+    LiquidMetalError,
+    MarshalingError,
+    RetryExhaustedError,
+)
+from repro.obs.tracer import NULL_TRACER
+from repro.runtime.faults import _XorShift
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failing device task, and how.
+
+    Backoff is exponential with deterministic jitter: attempt ``k``
+    (1-based) backs off ``base_backoff_s * backoff_multiplier**(k-1)``
+    seconds, capped at ``max_backoff_s``, scaled by a jitter factor in
+    ``[1 - jitter_ratio, 1 + jitter_ratio)`` drawn from a seeded RNG.
+
+    Retryability is per error class: transient ``DeviceError`` /
+    ``MarshalingError`` faults are retried by default, while
+    ``DeviceTimeoutError`` (a stalled device) demotes immediately —
+    retrying a hang just hangs again.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 100e-6
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 0.1
+    jitter_ratio: float = 0.1
+    seed: int = 0x5EED
+    retry_device_errors: bool = True
+    retry_marshaling_errors: bool = True
+    retry_timeouts: bool = False
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, "
+                f"got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_ratio <= 1.0:
+            raise ConfigurationError(
+                f"jitter_ratio must be in [0, 1], got {self.jitter_ratio}"
+            )
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        if isinstance(exc, DeviceTimeoutError):
+            return self.retry_timeouts
+        if isinstance(exc, MarshalingError):
+            return self.retry_marshaling_errors
+        if isinstance(exc, DeviceError):
+            return self.retry_device_errors
+        return False
+
+    def backoff_s(self, attempt: int, unit: float) -> float:
+        """Backoff before retry #``attempt`` given a unit draw."""
+        base = min(
+            self.base_backoff_s * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        return base * (1.0 + self.jitter_ratio * (2.0 * unit - 1.0))
+
+
+@dataclass
+class DemotionRecord:
+    """One runtime re-substitution: a device span demoted to bytecode."""
+
+    task_id: str
+    device: str
+    attempts: int
+    error: str              # class name of the final error
+    covered_task_ids: list
+
+
+class Supervisor:
+    """Wraps device execution with retry/backoff and demotion.
+
+    One supervisor belongs to one runtime; it owns the retry RNG, the
+    accumulated (simulated) backoff time, and the demotion log. The
+    tracer records a ``retry.attempt`` span per retry and a
+    ``demotion.taken`` span per re-substitution, plus matching
+    counters, so ``python -m repro trace``/``faults`` show the whole
+    recovery.
+    """
+
+    def __init__(self, policy: "RetryPolicy | None" = None,
+                 tracer=NULL_TRACER):
+        self.policy = policy or RetryPolicy()
+        self.tracer = tracer
+        self._rng = _XorShift(self.policy.seed)
+        self._lock = threading.Lock()
+        self.demotions: list[DemotionRecord] = []
+        self.total_backoff_s = 0.0
+
+    def run(self, attempt_fn, *, task_id: str, device: str,
+            fallback=None, covered_task_ids=None, on_demote=None):
+        """Execute ``attempt_fn()`` under the retry policy.
+
+        On exhausted retries (or a non-retryable error), replays via
+        ``fallback()`` — calling ``on_demote(record, error)`` first so
+        the engine can pin the span to bytecode — or raises
+        :class:`RetryExhaustedError` when no fallback exists.
+        """
+        policy = self.policy
+        counters = self.tracer.counters
+        last: "LiquidMetalError | None" = None
+        attempts = 0
+        while attempts < policy.max_attempts:
+            attempts += 1
+            try:
+                return attempt_fn()
+            except LiquidMetalError as exc:
+                last = exc
+                if not policy.is_retryable(exc):
+                    break
+                if attempts >= policy.max_attempts:
+                    break
+                with self._lock:
+                    unit = self._rng.random()
+                backoff = policy.backoff_s(attempts, unit)
+                with self._lock:
+                    self.total_backoff_s += backoff
+                counters.add("retry.attempt")
+                counters.add(f"retry.attempt[{device}]")
+                with self.tracer.span(
+                    "retry.attempt",
+                    task_id=task_id,
+                    device=device,
+                    attempt=attempts,
+                    backoff_s=backoff,
+                    error=type(exc).__name__,
+                ):
+                    pass
+        if fallback is None:
+            raise RetryExhaustedError(
+                f"task {task_id!r} on {device} failed after "
+                f"{attempts} attempt(s): {last}",
+                task_id=task_id,
+                device=device,
+                attempts=attempts,
+                cause=last,
+            ) from last
+        record = DemotionRecord(
+            task_id=task_id,
+            device=device,
+            attempts=attempts,
+            error=type(last).__name__,
+            covered_task_ids=list(covered_task_ids or []),
+        )
+        with self._lock:
+            self.demotions.append(record)
+        counters.add("demotion.taken")
+        counters.add(f"demotion.taken[{device}]")
+        with self.tracer.span(
+            "demotion.taken",
+            task_id=task_id,
+            device=device,
+            attempts=attempts,
+            error=record.error,
+            covered=",".join(record.covered_task_ids),
+        ):
+            if on_demote is not None:
+                on_demote(record, last)
+            return fallback()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Supervisor {len(self.demotions)} demotions, "
+            f"backoff {self.total_backoff_s:.3g}s>"
+        )

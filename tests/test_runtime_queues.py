@@ -81,6 +81,110 @@ class TestConnection:
         assert conn.drain() == []
 
 
+class TestBackpressure:
+    """Bounded-FIFO semantics under contention (Section 4.1: upstream
+    tasks block when a downstream stage is slow)."""
+
+    def test_capacity_one_blocks_producer(self):
+        conn = Connection(capacity=1)
+        conn.put(0)  # queue now full
+        second_put_done = threading.Event()
+
+        def producer():
+            conn.put(1)  # must block until the consumer drains
+            second_put_done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not second_put_done.wait(timeout=0.05)
+        assert conn.approximate_depth == 1
+        assert conn.get() == 0
+        assert second_put_done.wait(timeout=5)
+        assert conn.get() == 1
+        thread.join(timeout=5)
+
+    def test_close_while_producer_blocked(self):
+        # close() enqueues the end-of-stream sentinel through the same
+        # bounded queue, so a producer blocked on a full capacity-1
+        # connection must be drained before close() can complete.
+        conn = Connection(capacity=1)
+        conn.put(0)
+        closed = threading.Event()
+
+        def producer():
+            conn.put(1)
+            conn.close()
+            closed.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not closed.wait(timeout=0.05)  # still blocked on put(1)
+        received = []
+        while True:
+            item = conn.get()
+            if item is END_OF_STREAM:
+                break
+            received.append(item)
+        assert closed.wait(timeout=5)
+        assert received == [0, 1]
+        assert conn.items_transferred == 2
+        thread.join(timeout=5)
+
+    def test_fast_producer_slow_consumer_threaded_scheduler(self):
+        # End-to-end: a capacity-1 pipeline where the middle stage is
+        # slower than the source. The scheduler must neither drop nor
+        # reorder items, and the connection depth can never exceed the
+        # configured capacity.
+        import time
+
+        from repro.runtime.graph import Pipeline
+        from repro.runtime.scheduler import ThreadedScheduler
+        from repro.runtime.tasks import ExecutionContext, Task
+        from repro.runtime.timing import TimingLedger
+
+        class _SlowRelay(Task):
+            kind = "filter"
+            device = "bytecode"
+
+            def __init__(self):
+                super().__init__("t:slow")
+                self.seen_depths = []
+
+            def run(self, ctx):
+                while True:
+                    item = self.input_conn.get()
+                    self.seen_depths.append(
+                        self.input_conn.approximate_depth
+                    )
+                    if item is END_OF_STREAM:
+                        break
+                    time.sleep(0.002)  # slower than the producer
+                    self.output_conn.put(item)
+                self.output_conn.close()
+
+        class _Engine:
+            config = None
+
+            def __init__(self):
+                self.ledger = TimingLedger()
+
+            def metered_call(self, method, args):
+                return args[0], 1
+
+        values = list(range(24))
+        relay = _SlowRelay()
+        sink = SinkTask(MutableArray.allocate(KIND_INT, len(values)))
+        pipeline = Pipeline(
+            [SourceTask(ValueArray(KIND_INT, values), 1), relay, sink]
+        )
+        engine = _Engine()
+        ctx = ExecutionContext(engine, engine.ledger.new_graph_run("g"))
+        ThreadedScheduler(queue_capacity=1).run_to_completion(pipeline, ctx)
+        assert list(sink.array) == values
+        assert relay.seen_depths  # consumer actually observed the queue
+        assert max(relay.seen_depths) <= 1
+
+
 class TestSourceSinkTasks:
     def test_source_requires_value_array(self):
         with pytest.raises(RuntimeGraphError):

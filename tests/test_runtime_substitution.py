@@ -171,6 +171,32 @@ class TestPlanner:
         assert len(accept) == 1
 
 
+class TestPolicyValidation:
+    def test_unknown_directive_device_rejected_eagerly(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as err:
+            SubstitutionPolicy(directives={"t:f0": "gup"})
+        assert "gup" in str(err.value)
+        assert "t:f0" in str(err.value)
+
+    def test_known_directive_devices_accepted(self):
+        policy = SubstitutionPolicy(
+            directives={"t:f0": BYTECODE, "t:f1": GPU, "t:f2": FPGA}
+        )
+        assert policy.directives["t:f1"] == GPU
+
+    def test_demote_pins_tasks_to_bytecode(self):
+        policy = SubstitutionPolicy(directives={"t:f0": GPU})
+        policy.demote(["t:f0", "t:f1"])
+        assert policy.directives == {"t:f0": BYTECODE, "t:f1": BYTECODE}
+        # Demoted tasks no longer plan onto a device.
+        store = ArtifactStore()
+        store.add(artifact(GPU, ["t:f0", "t:f1"]))
+        decisions = plan_substitutions(make_pipeline(2), store, policy)
+        assert decisions == []
+
+
 class TestApplySubstitutions:
     def test_rebuilds_pipeline(self):
         store = ArtifactStore()

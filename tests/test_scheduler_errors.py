@@ -67,6 +67,89 @@ class TestErrorPropagation:
             runtime.call("S.run", [xs, out])
 
 
+class TestFailureContext:
+    """Satellites: stage failures carry task/device context and a
+    failed pipeline never masquerades as 'never started'."""
+
+    FAULTY = TestErrorPropagation.FAULTY
+
+    def test_threaded_error_names_failing_stage(self):
+        runtime = Runtime(
+            compile_program(self.FAULTY), RuntimeConfig(scheduler="threaded")
+        )
+        xs = ValueArray(KIND_INT, [1, 0, 5])
+        with pytest.raises(LiquidMetalError) as err:
+            runtime.call("F.run", [xs])
+        notes = "".join(getattr(err.value, "__notes__", []))
+        assert "in stage" in notes
+        assert "threaded scheduler" in notes
+
+    def test_sequential_error_names_failing_stage(self):
+        runtime = Runtime(
+            compile_program(self.FAULTY),
+            RuntimeConfig(scheduler="sequential"),
+        )
+        xs = ValueArray(KIND_INT, [1, 0, 5])
+        with pytest.raises(DeviceError) as err:
+            runtime.call("F.run", [xs])
+        notes = "".join(getattr(err.value, "__notes__", []))
+        assert "in stage" in notes
+        assert "sequential scheduler" in notes
+
+    def test_sequential_failed_pipeline_join_surfaces_original(self):
+        """A mid-stage exception must not turn a later join() into a
+        misleading 'graph was never started'."""
+        from repro.runtime import Pipeline, SequentialScheduler
+        from repro.runtime.tasks import ExecutionContext, SinkTask, SourceTask
+        from repro.runtime.timing import TimingLedger
+        from repro.values import MutableArray
+
+        class _BrokenSink(SinkTask):
+            def process_batch(self, items, ctx):
+                raise DeviceError("sink exploded")
+
+        class _Engine:
+            config = None
+
+            def __init__(self):
+                self.ledger = TimingLedger()
+
+            def metered_call(self, method, args):
+                return args[0], 1
+
+        pipeline = Pipeline(
+            [
+                SourceTask(ValueArray(KIND_INT, [1]), 1, "t:src"),
+                _BrokenSink(MutableArray.allocate(KIND_INT, 1), "t:sink"),
+            ]
+        )
+        scheduler = SequentialScheduler()
+        engine = _Engine()
+        ctx = ExecutionContext(engine, engine.ledger.new_graph_run("g"))
+        with pytest.raises(DeviceError):
+            scheduler.run_to_completion(pipeline, ctx)
+        assert pipeline.failed
+        # join() now surfaces the original failure, not "never started".
+        with pytest.raises(DeviceError, match="sink exploded"):
+            scheduler.join(pipeline)
+
+    def test_threaded_join_unstarted_names_graph(self):
+        from repro.runtime import Pipeline, ThreadedScheduler
+        from repro.runtime.tasks import SinkTask, SourceTask
+        from repro.values import MutableArray
+
+        pipeline = Pipeline(
+            [
+                SourceTask(ValueArray(KIND_INT, [1]), 1, "t:src"),
+                SinkTask(MutableArray.allocate(KIND_INT, 1), "t:sink"),
+            ]
+        )
+        with pytest.raises(LiquidMetalError) as err:
+            ThreadedScheduler().join(pipeline)
+        assert "never started" in str(err.value)
+        assert "source(1) => sink" in str(err.value)
+
+
 class TestSobel:
     def test_reference_implementation(self):
         from repro.apps.workloads import sobel_args

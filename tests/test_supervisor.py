@@ -1,0 +1,249 @@
+"""Unit tests for the retry policy, supervisor, and stage watchdog."""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeviceError,
+    DeviceTimeoutError,
+    MarshalingError,
+    RetryExhaustedError,
+    RuntimeGraphError,
+)
+from repro.obs import Tracer
+from repro.runtime.graph import Pipeline
+from repro.runtime.scheduler import SequentialScheduler, ThreadedScheduler
+from repro.runtime.supervisor import RetryPolicy, Supervisor
+from repro.runtime.tasks import (
+    ExecutionContext,
+    SinkTask,
+    SourceTask,
+    Task,
+)
+from repro.runtime.timing import TimingLedger
+from repro.values import KIND_INT, MutableArray, ValueArray
+
+
+class _StubEngine:
+    """Just enough engine for ExecutionContext in scheduler tests."""
+
+    config = None
+
+    def __init__(self):
+        self.ledger = TimingLedger()
+
+    def metered_call(self, method, args):
+        return args[0], 10
+
+
+def make_ctx():
+    engine = _StubEngine()
+    return ExecutionContext(engine, engine.ledger.new_graph_run("g"))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_ratio=2.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff_s=-1.0)
+
+    def test_backoff_exponential_and_capped(self):
+        policy = RetryPolicy(
+            base_backoff_s=1e-3,
+            backoff_multiplier=2.0,
+            max_backoff_s=3e-3,
+            jitter_ratio=0.0,
+        )
+        assert policy.backoff_s(1, 0.5) == pytest.approx(1e-3)
+        assert policy.backoff_s(2, 0.5) == pytest.approx(2e-3)
+        assert policy.backoff_s(3, 0.5) == pytest.approx(3e-3)  # capped
+        assert policy.backoff_s(4, 0.5) == pytest.approx(3e-3)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_backoff_s=1e-3, jitter_ratio=0.1)
+        low = policy.backoff_s(1, 0.0)
+        high = policy.backoff_s(1, 1.0)
+        assert low == pytest.approx(0.9e-3)
+        assert high == pytest.approx(1.1e-3)
+
+    def test_retryability_per_error_class(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(DeviceError("x"))
+        assert policy.is_retryable(MarshalingError("x"))
+        assert not policy.is_retryable(DeviceTimeoutError("x"))
+        assert not policy.is_retryable(ValueError("x"))
+        strict = RetryPolicy(retry_device_errors=False)
+        assert not strict.is_retryable(DeviceError("x"))
+
+
+class TestSupervisor:
+    def test_success_needs_no_retry(self):
+        supervisor = Supervisor(RetryPolicy(max_attempts=3))
+        assert supervisor.run(
+            lambda: 42, task_id="t", device="gpu"
+        ) == 42
+        assert supervisor.total_backoff_s == 0.0
+
+    def test_transient_failure_retried_to_success(self):
+        tracer = Tracer()
+        supervisor = Supervisor(RetryPolicy(max_attempts=3), tracer=tracer)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise DeviceError("transient")
+            return "ok"
+
+        assert supervisor.run(flaky, task_id="t", device="gpu") == "ok"
+        assert len(calls) == 3
+        assert tracer.counters.get("retry.attempt") == 2
+        assert len(tracer.find("retry.attempt")) == 2
+
+    def test_exhaustion_without_fallback_raises(self):
+        supervisor = Supervisor(RetryPolicy(max_attempts=2))
+
+        def broken():
+            raise DeviceError("permanent")
+
+        with pytest.raises(RetryExhaustedError) as err:
+            supervisor.run(broken, task_id="t:x", device="fpga")
+        assert err.value.task_id == "t:x"
+        assert err.value.device == "fpga"
+        assert err.value.attempts == 2
+        assert isinstance(err.value.__cause__, DeviceError)
+
+    def test_exhaustion_with_fallback_demotes(self):
+        tracer = Tracer()
+        supervisor = Supervisor(RetryPolicy(max_attempts=2), tracer=tracer)
+        demoted = []
+
+        result = supervisor.run(
+            lambda: (_ for _ in ()).throw(DeviceError("dead")),
+            task_id="t:x",
+            device="gpu",
+            fallback=lambda: "bytecode-result",
+            covered_task_ids=["t:a", "t:b"],
+            on_demote=lambda record, error: demoted.append(record),
+        )
+        assert result == "bytecode-result"
+        assert len(supervisor.demotions) == 1
+        record = supervisor.demotions[0]
+        assert record.covered_task_ids == ["t:a", "t:b"]
+        assert record.attempts == 2
+        assert demoted == [record]
+        assert tracer.counters.get("demotion.taken") == 1
+        assert tracer.counters.get("demotion.taken[gpu]") == 1
+        assert len(tracer.find("demotion.taken")) == 1
+
+    def test_timeout_demotes_without_retry(self):
+        tracer = Tracer()
+        supervisor = Supervisor(RetryPolicy(max_attempts=5), tracer=tracer)
+        calls = []
+
+        def stalled():
+            calls.append(1)
+            raise DeviceTimeoutError("hung", task_id="t", device="gpu")
+
+        result = supervisor.run(
+            stalled, task_id="t", device="gpu", fallback=lambda: "cpu"
+        )
+        assert result == "cpu"
+        assert len(calls) == 1  # no retry for a hang
+        assert tracer.counters.get("retry.attempt") == 0
+
+    def test_non_lime_errors_propagate(self):
+        supervisor = Supervisor(RetryPolicy(max_attempts=3))
+
+        def bug():
+            raise ZeroDivisionError("a real bug, not a device fault")
+
+        with pytest.raises(ZeroDivisionError):
+            supervisor.run(bug, task_id="t", device="gpu")
+
+    def test_backoff_deterministic_under_seed(self):
+        def total(seed):
+            supervisor = Supervisor(
+                RetryPolicy(max_attempts=4, seed=seed)
+            )
+            with pytest.raises(RetryExhaustedError):
+                supervisor.run(
+                    lambda: (_ for _ in ()).throw(DeviceError("x")),
+                    task_id="t",
+                    device="gpu",
+                )
+            return supervisor.total_backoff_s
+
+        assert total(1) == total(1)
+        assert total(1) != total(2)
+
+
+class _StallingTask(Task):
+    """A middle stage that hangs on the wall clock."""
+
+    kind = "filter"
+    device = "gpu"
+
+    def __init__(self, stall_s):
+        super().__init__("t:stall")
+        self.stall_s = stall_s
+
+    def run(self, ctx):
+        from repro.runtime.queues import END_OF_STREAM
+
+        time.sleep(self.stall_s)
+        while True:
+            item = self.input_conn.get()
+            if item is END_OF_STREAM:
+                break
+            self.output_conn.put(item)
+        self.output_conn.close()
+
+
+class TestStageWatchdog:
+    def _pipeline(self, stall_s):
+        source = SourceTask(ValueArray(KIND_INT, [1, 2, 3]), 1, "t:src")
+        stall = _StallingTask(stall_s)
+        sink = SinkTask(MutableArray.allocate(KIND_INT, 3), "t:sink")
+        return Pipeline([source, stall, sink])
+
+    def test_stalled_stage_trips_watchdog(self):
+        scheduler = ThreadedScheduler(stage_timeout_s=0.05)
+        pipeline = self._pipeline(stall_s=30.0)
+        scheduler.start(pipeline, make_ctx())
+        with pytest.raises(DeviceTimeoutError) as err:
+            scheduler.join(pipeline)
+        assert err.value.task_id == "t:stall"
+        assert err.value.device == "gpu"
+        assert pipeline.failed
+
+    def test_fast_stages_pass_watchdog(self):
+        scheduler = ThreadedScheduler(stage_timeout_s=5.0)
+        pipeline = self._pipeline(stall_s=0.0)
+        scheduler.run_to_completion(pipeline, make_ctx())
+        assert pipeline.started and not pipeline.failed
+
+    def test_watchdog_disabled_by_default(self):
+        scheduler = ThreadedScheduler()
+        assert scheduler.stage_timeout_s is None
+
+    def test_join_unstarted_names_graph(self):
+        scheduler = ThreadedScheduler()
+        pipeline = self._pipeline(stall_s=0.0)
+        with pytest.raises(RuntimeGraphError) as err:
+            scheduler.join(pipeline)
+        assert "source(1)" in str(err.value)
+
+    def test_sequential_join_unstarted_names_graph(self):
+        scheduler = SequentialScheduler()
+        pipeline = self._pipeline(stall_s=0.0)
+        with pytest.raises(RuntimeGraphError) as err:
+            scheduler.join(pipeline)
+        assert "source(1)" in str(err.value)
