@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples trace-smoke fault-smoke all clean
+.PHONY: test bench bench-smoke examples trace-smoke fault-smoke all clean
 
-test: trace-smoke fault-smoke
+test: trace-smoke fault-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
 
+# The -m "" overrides pyproject's default "not slow" filter so the
+# full-scale benchmark variants run too.
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -m ""
+
+# Fast marshaling-throughput benchmark: produces
+# benchmarks/out/BENCH_marshal.json and enforces the >=2x batched
+# throughput bar (docs/PERFORMANCE.md) without the slow variants.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_bench_marshal_batch.py \
+		--benchmark-disable -q
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.apps import SUITE, compile_app
 from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+from repro.runtime.marshaling import MarshalingBoundary
 
 
 def cpu_runtime(compiled, **config_kwargs) -> Runtime:
@@ -67,6 +68,39 @@ def _assert_equal(a, b, name):
         raise AssertionError(
             f"{name}: accelerated result differs from bytecode result"
         )
+
+
+# ---------------------------------------------------------------------------
+# Marshaling throughput (batched fast path vs per-element crossings)
+# ---------------------------------------------------------------------------
+
+
+def marshal_stream_seconds(
+    n_items: int, batch_size: int, boundary: MarshalingBoundary = None
+) -> float:
+    """Modeled time to stream ``n_items`` int values across a boundary
+    and back, crossing in ``batch_size`` chunks.
+
+    ``batch_size=1`` is the per-element slow path (one tagged scalar
+    frame and one full fixed crossing cost per value, each way);
+    larger sizes use the 0x09 batch frame, so N values share one
+    header and one set of fixed serialize/JNI/convert costs. This is
+    the microbenchmark behind BENCH_marshal.json
+    (docs/PERFORMANCE.md)."""
+    boundary = boundary if boundary is not None else MarshalingBoundary()
+    values = list(range(n_items))
+    if batch_size <= 1:
+        for value in values:
+            boundary.round_trip(value)
+    else:
+        for start in range(0, n_items, batch_size):
+            boundary.transfer_batch(values[start : start + batch_size])
+    return boundary.total_seconds
+
+
+def marshal_throughput(n_items: int, batch_size: int) -> float:
+    """Values per modeled second for the stream above."""
+    return n_items / marshal_stream_seconds(n_items, batch_size)
 
 
 # ---------------------------------------------------------------------------

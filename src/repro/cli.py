@@ -101,7 +101,9 @@ def _cmd_run(args) -> int:
 
     compiled = _compiled(args)
     policy = SubstitutionPolicy(use_accelerators=not args.cpu_only)
-    runtime = Runtime(compiled, RuntimeConfig(policy=policy))
+    runtime = Runtime(
+        compiled, RuntimeConfig(policy=policy, batch_size=args.batch_size)
+    )
     values = [_parse_value(a) for a in args.args]
     outcome = runtime.run(args.entry, values)
     if outcome.output:
@@ -184,7 +186,10 @@ def _cmd_trace(args) -> int:
     compiled = compile_program(source, filename=filename, options=options)
     policy = SubstitutionPolicy(use_accelerators=not args.cpu_only)
     config = RuntimeConfig(
-        policy=policy, scheduler=args.scheduler, tracer=tracer
+        policy=policy,
+        scheduler=args.scheduler,
+        tracer=tracer,
+        batch_size=args.batch_size,
     )
     outcome = Runtime(compiled, config).run(entry, values)
     out_path = args.out or f"{name}.trace.json"
@@ -272,6 +277,7 @@ def _cmd_faults(args) -> int:
             tracer=tracer,
             fault_plan=plan,
             retry=RetryPolicy(max_attempts=args.max_attempts),
+            batch_size=args.batch_size,
         ),
     )
     outcome = runtime.run(entry, values)
@@ -433,6 +439,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fpga", action="store_true")
         p.add_argument("--fpga-pipelined", action="store_true")
 
+    def batch_size_option(p):
+        p.add_argument(
+            "--batch-size",
+            type=int,
+            default=4096,
+            help="FIFO elements marshaled per host/device crossing "
+            "(1 = per-element slow path; see docs/PERFORMANCE.md)",
+        )
+
     p = sub.add_parser("compile", help="compile and print the report")
     common(p)
     p.set_defaults(fn=_cmd_compile)
@@ -448,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-method cycle profile",
     )
+    batch_size_option(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
@@ -484,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the span tree to stdout as well",
     )
+    batch_size_option(p)
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -528,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="fail unless at least this many demotions were recorded",
     )
+    batch_size_option(p)
     p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("format", help="pretty-print (normalize) a source file")

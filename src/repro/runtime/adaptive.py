@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.runtime.queues import END_OF_STREAM
 from repro.runtime.tasks import ExecutionContext, Task, _QUEUE_CYCLES
 
 
@@ -163,13 +162,7 @@ class AdaptiveTask(Task):
                 if self.chosen is None
                 else self.batch_size
             )
-            batch = []
-            while len(batch) < limit:
-                item = self.input_conn.get()
-                if item is END_OF_STREAM:
-                    done = True
-                    break
-                batch.append(item)
+            batch, done = self.input_conn.get_up_to(limit)
             if batch:
                 outputs, seconds = self._process(batch, ctx)
                 stage.busy_s += seconds

@@ -241,13 +241,30 @@ class FaultInjector:
         ]
         self.log: list[InjectedFault] = []
 
-    def check(self, site: str, targets: list, device=None, task_id=None):
+    def check(self, site: str, targets: list, device=None, task_id=None,
+              count: int = 1):
         """Raise (or stall) if any spec decides to fire here.
 
         ``targets`` are the concrete names this call is known by (e.g.
         an artifact id plus the task ids it covers); a spec matches if
         its pattern matches any of them.
+
+        ``count`` is the number of *logical* transfers this one call
+        stands for: a batched boundary crossing of N values passes
+        ``count=N`` so call indices (and the RNG draw sequence) stay
+        element-accurate — a plan written against the per-element path
+        fires at the same logical points under any batch size. When a
+        fault fires at logical index i, indices after i are left
+        unconsumed, exactly as if the per-element path had raised on
+        its i-th call; the retry then replays from the batch start and
+        the counters keep advancing past i.
         """
+        for _ in range(count):
+            self._check_one(site, targets, device=device, task_id=task_id)
+
+    def _check_one(self, site: str, targets: list, device=None,
+                   task_id=None) -> None:
+        """One logical call: consult every spec in plan order."""
         for index, spec in enumerate(self.plan.specs):
             if not spec.matches(site, targets):
                 continue
@@ -317,7 +334,8 @@ class _NullInjector:
     enabled = False
     log: tuple = ()
 
-    def check(self, site, targets, device=None, task_id=None) -> None:
+    def check(self, site, targets, device=None, task_id=None,
+              count: int = 1) -> None:
         pass
 
     def fired(self) -> int:

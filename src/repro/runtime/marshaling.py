@@ -20,7 +20,15 @@ from repro.devices.interconnect import PCIE_GEN2_X16, Link
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.faults import NULL_INJECTOR
 from repro.runtime.timing import TransferRecord
-from repro.values import deserialize, kind_of, serialize, serializer_for
+from repro.values import (
+    batch_count,
+    deserialize,
+    deserialize_batch,
+    kind_of,
+    serialize,
+    serialize_batch,
+    serializer_for,
+)
 
 
 @dataclass(frozen=True)
@@ -124,6 +132,71 @@ class MarshalingBoundary:
         data, out_record = self.to_device(value)
         result, back_record = self.from_device(data)
         return result, [out_record, back_record]
+
+    # ------------------------------------------------------------------
+    # Batched fast path: one crossing per batch, not per value
+    # ------------------------------------------------------------------
+
+    def to_device_batch(self, values, kind=None) -> "tuple[bytes, TransferRecord]":
+        """Serialize N homogeneous values into one 0x09 frame and
+        charge a single crossing for the whole batch — the amortized
+        fast path of docs/PERFORMANCE.md. Fault-injection call indices
+        stay element-accurate (``count=N``), so plans written against
+        the per-element path fire at the same logical points."""
+        values = list(values)
+        self.injector.check(
+            "marshal.to_device", [self.name, self.link.name],
+            count=len(values),
+        )
+        with self.tracer.span(
+            "run.marshal.batch.to_device",
+            link=self.link.name,
+            batch=len(values),
+        ) as span:
+            data = serialize_batch(values, kind=kind)
+            record = self._record("to-device", len(data))
+            span.set(
+                bytes=record.num_bytes,
+                serialize_s=record.serialize_s,
+                link_s=record.link_s,
+            )
+        self._count_batch(len(values), record.num_bytes)
+        return data, record
+
+    def from_device_batch(self, data: bytes) -> "tuple[list, TransferRecord]":
+        """Deserialize a device-side 0x09 frame back into its values,
+        charging one crossing for the whole batch."""
+        self.injector.check(
+            "marshal.from_device", [self.name, self.link.name],
+            count=batch_count(data),
+        )
+        with self.tracer.span(
+            "run.marshal.batch.from_device", link=self.link.name
+        ) as span:
+            values = deserialize_batch(data)
+            record = self._record("from-device", len(data))
+            span.set(
+                batch=len(values),
+                bytes=record.num_bytes,
+                serialize_s=record.serialize_s,
+                link_s=record.link_s,
+            )
+        self._count_batch(len(values), record.num_bytes)
+        return values, record
+
+    def transfer_batch(self, values, kind=None) -> "tuple[list, list]":
+        """Round-trip a batch out and back under batched charging:
+        one fixed crossing each way regardless of N. Returns the
+        values as reconstituted on the host plus both records."""
+        data, out_record = self.to_device_batch(values, kind=kind)
+        result, back_record = self.from_device_batch(data)
+        return result, [out_record, back_record]
+
+    def _count_batch(self, n_values: int, num_bytes: int) -> None:
+        counters = self.tracer.counters
+        counters.add(f"marshal.bytes[{self.link.name}]", num_bytes)
+        counters.add("marshal.batch.crossings")
+        counters.add("marshal.batch.values", n_values)
 
     @property
     def total_seconds(self) -> float:

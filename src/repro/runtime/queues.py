@@ -69,6 +69,22 @@ class Connection:
             batch.append(item)
         return batch
 
+    def get_up_to(self, count: int) -> "tuple[list, bool]":
+        """Blockingly drain up to ``count`` items for one batched
+        dispatch; returns ``(items, eos)``. Unlike :meth:`get_batch`,
+        a premature end-of-stream is not an error — the partial batch
+        is returned with ``eos=True`` so a device stage can marshal
+        the tail of the stream as one final (smaller) batch."""
+        if count < 1:
+            raise RuntimeGraphError("batch draining requires count >= 1")
+        batch: list = []
+        while len(batch) < count:
+            item = self.get()
+            if item is END_OF_STREAM:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
     def close(self) -> None:
         self.put(END_OF_STREAM)
 

@@ -60,6 +60,12 @@ class SequentialScheduler:
                     scheduler=self.name,
                     in_items=len(items),
                 ) as span:
+                    batch_size = getattr(task, "batch_size", None)
+                    if batch_size is not None:
+                        # Device stages dispatch in marshaling batches
+                        # (RuntimeConfig.batch_size); surface the knob
+                        # so a trace explains the crossing count.
+                        span.set(batch_size=batch_size)
                     items = task.process_batch(items, ctx)
                     span.set(out_items=len(items))
             except BaseException as exc:
@@ -120,6 +126,9 @@ class ThreadedScheduler:
                     scheduler=self.name,
                     queue_capacity=self.queue_capacity,
                 ) as span:
+                    batch_size = getattr(task, "batch_size", None)
+                    if batch_size is not None:
+                        span.set(batch_size=batch_size)
                     task.run(ctx)
                     stage = ctx.graph_run.stages.get(task.task_id)
                     if stage is not None:

@@ -166,10 +166,13 @@ def apply_substitutions(
     decisions: list,
     store: ArtifactStore,
     executor_factory,
+    batch_size: int = 4096,
 ) -> Pipeline:
     """Rebuild the pipeline with device tasks in place of the covered
     spans. ``executor_factory(artifact) -> callable`` supplies each
-    device task's executor."""
+    device task's executor; ``batch_size`` is the marshaling batch the
+    device tasks drain and dispatch per boundary crossing
+    (``RuntimeConfig.batch_size``)."""
     if not decisions:
         return pipeline
     new_tasks = []
@@ -188,6 +191,7 @@ def apply_substitutions(
                 device=decision.device,
                 covered_task_ids=decision.covered_task_ids,
                 executor=executor_factory(artifact),
+                batch_size=batch_size,
             )
         )
         index += len(decision.covered_task_ids)

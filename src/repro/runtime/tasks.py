@@ -222,6 +222,12 @@ class DeviceTask(Task):
     performed; it takes a list of items and returns
     ``(outputs, busy_seconds)`` with marshaling and kernel/RTL time
     already recorded in the ledger.
+
+    ``batch_size`` is the marshaling batch: how many FIFO elements are
+    drained and dispatched across the host/device boundary per
+    crossing (``RuntimeConfig.batch_size``). Both scheduler modes chunk
+    identically, so sequential and threaded runs cross the boundary the
+    same number of times for the same stream.
     """
 
     kind = "device"
@@ -238,28 +244,27 @@ class DeviceTask(Task):
         self.device = device
         self.covered_task_ids = list(covered_task_ids)
         self.executor = executor
-        self.batch_size = batch_size
+        self.batch_size = max(int(batch_size), 1)
 
     def process_batch(self, items, ctx):
         stage = self._stage(ctx)
         if not items:
             return []
-        outputs, seconds = self.executor(items)
+        outputs: list = []
+        for start in range(0, len(items), self.batch_size):
+            out, seconds = self.executor(
+                list(items[start : start + self.batch_size])
+            )
+            outputs.extend(out)
+            stage.busy_s += seconds
         stage.items += len(outputs)
-        stage.busy_s += seconds
-        return list(outputs)
+        return outputs
 
     def run(self, ctx):
         stage = self._stage(ctx)
         done = False
         while not done:
-            batch = []
-            while len(batch) < self.batch_size:
-                item = self.input_conn.get()
-                if item is END_OF_STREAM:
-                    done = True
-                    break
-                batch.append(item)
+            batch, done = self.input_conn.get_up_to(self.batch_size)
             if batch:
                 outputs, seconds = self.executor(batch)
                 stage.busy_s += seconds

@@ -22,16 +22,24 @@ from repro.values.bits import (
     int_to_bits,
     parse_bit_literal,
 )
+from repro.values.bufpool import DEFAULT_POOL, BufferPool
 from repro.values.enums import EnumDescriptor, EnumValue
 from repro.values.marshal import (
     Serializer,
+    batch_count,
+    batch_kind,
     deserialize,
+    deserialize_batch,
+    infer_batch_kind,
     serialize,
+    serialize_batch,
     serializer_for,
 )
 
 __all__ = [
     "Bit",
+    "BufferPool",
+    "DEFAULT_POOL",
     "EnumDescriptor",
     "EnumValue",
     "Kind",
@@ -45,15 +53,20 @@ __all__ = [
     "Serializer",
     "ValueArray",
     "array_kind",
+    "batch_count",
+    "batch_kind",
     "bits_to_int",
     "default_value",
     "deserialize",
+    "deserialize_batch",
     "enum_kind",
     "format_bit_literal",
+    "infer_batch_kind",
     "int_to_bits",
     "is_value",
     "kind_of",
     "parse_bit_literal",
     "serialize",
+    "serialize_batch",
     "serializer_for",
 ]

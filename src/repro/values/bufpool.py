@@ -1,0 +1,104 @@
+"""A reusable buffer pool for batched wire serialization.
+
+Section 4.3's crossing carries a byte stream; the dominant avoidable
+cost on a managed host is allocating a fresh staging buffer per
+transfer. A real JNI runtime keeps a small set of direct byte buffers
+alive and reuses them across crossings — this module is that pool for
+the Python reproduction: :func:`repro.values.marshal.serialize_batch`
+acquires a staging ``bytearray`` from a :class:`BufferPool`, assembles
+the batch frame in place, and releases the buffer for the next batch.
+
+The pool is deliberately small and boring: size-classed free lists
+(powers of two) under one lock, with hit/miss statistics so tests and
+the benchmark harness can observe reuse. Buffers returned by
+:meth:`acquire` are always empty (length zero); callers append and
+take an immutable snapshot before releasing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+def _size_class(n: int) -> int:
+    """Smallest power-of-two class holding ``n`` bytes (min 256)."""
+    size = 256
+    while size < n:
+        size <<= 1
+    return size
+
+
+class BufferPool:
+    """Size-classed pool of reusable ``bytearray`` staging buffers."""
+
+    def __init__(self, max_per_class: int = 8, max_class_bytes: int = 1 << 24):
+        if max_per_class < 0:
+            raise ValueError("max_per_class must be >= 0")
+        self.max_per_class = max_per_class
+        #: Buffers for requests above this size are never pooled.
+        self.max_class_bytes = max_class_bytes
+        self._lock = threading.Lock()
+        self._free: dict[int, list[bytearray]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.releases = 0
+
+    def acquire(self, size_hint: int = 0) -> bytearray:
+        """An empty staging buffer expected to grow to ``size_hint``.
+
+        The returned ``bytearray`` has length zero; reuse shows up as
+        retained allocation capacity on the CPython side and as a
+        ``hits`` increment on the pool."""
+        cls = _size_class(max(size_hint, 0))
+        with self._lock:
+            free = self._free.get(cls)
+            if free:
+                self.hits += 1
+                return free.pop()
+            self.misses += 1
+        return bytearray()
+
+    def release(self, buffer: bytearray, size_hint: int = 0) -> None:
+        """Return a staging buffer to the pool (contents discarded)."""
+        if not isinstance(buffer, bytearray):
+            return
+        cls = _size_class(max(size_hint, len(buffer)))
+        if cls > self.max_class_bytes:
+            return  # oversized one-offs are not worth retaining
+        del buffer[:]
+        with self._lock:
+            free = self._free.setdefault(cls, [])
+            if len(free) < self.max_per_class:
+                free.append(buffer)
+                self.releases += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()
+
+    @property
+    def pooled_buffers(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._free.values())
+
+    def stats(self) -> dict:
+        """Point-in-time reuse statistics."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "releases": self.releases,
+                "pooled": sum(len(v) for v in self._free.values()),
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"<BufferPool {s['pooled']} pooled, "
+            f"{s['hits']} hits / {s['misses']} misses>"
+        )
+
+
+#: Process-wide default pool used by ``serialize_batch`` when no pool
+#: is passed explicitly.
+DEFAULT_POOL = BufferPool()

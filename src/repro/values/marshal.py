@@ -27,7 +27,17 @@ tag byte  payload
           u32 element count, densely packed elements (bits are packed
           8 per byte, LSB first; other scalars use their scalar layout
           without per-element tags)
+0x09      batch: element kind encoding (identical to the array tag's),
+          u32 value count, densely packed values — the payload block is
+          byte-identical to the array payload for the same values, so
+          the native unpack path is shared (docs/PERFORMANCE.md)
 ========  =====================================================
+
+The batch frame (0x09) is the **batched fast path**: N homogeneous
+values cross the boundary under a single header, amortizing the
+per-value tag byte and every fixed per-crossing cost. Use
+:func:`serialize_batch` / :func:`deserialize_batch`; the scalar
+functions remain the one-value-at-a-time slow path.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from repro.values.base import (
 )
 from repro.values.arrays import ValueArray
 from repro.values.bits import Bit, pack_bits, unpack_bits
+from repro.values.bufpool import DEFAULT_POOL, BufferPool
 from repro.values.enums import EnumValue
 
 TAG_INT = 0x01
@@ -57,6 +68,7 @@ TAG_BOOLEAN = 0x05
 TAG_BIT = 0x06
 TAG_ENUM = 0x07
 TAG_ARRAY = 0x08
+TAG_BATCH = 0x09
 
 _SCALAR_TAGS = {
     "int": TAG_INT,
@@ -327,9 +339,175 @@ def deserialize(data: bytes) -> object:
     elif tag == TAG_ARRAY:
         elem, _ = _decode_element_kind(data, 1)
         kind = array_kind(elem)
+    elif tag == TAG_BATCH:
+        raise MarshalingError(
+            "payload is a batch frame; use deserialize_batch"
+        )
     else:
         raise MarshalingError(f"unknown wire tag 0x{tag:02x}")
     value, end = serializer_for(kind).deserialize(data, 0)
     if end != len(data):
         raise MarshalingError("trailing bytes after payload")
     return value
+
+
+# ---------------------------------------------------------------------------
+# Batched fast path (0x09 frames)
+# ---------------------------------------------------------------------------
+
+
+def _check_batch_element(kind: Kind, value: object) -> None:
+    """Reject a value that does not belong in a ``kind`` batch, with
+    the same strictness as the scalar serializers (bool is never an
+    int/float; enum names and sizes must match exactly)."""
+    if kind.name in ("int", "long"):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MarshalingError(f"expected {kind} in batch, got {value!r}")
+        return
+    if kind.name in ("float", "double"):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MarshalingError(f"expected {kind} in batch, got {value!r}")
+        return
+    if kind.name == "boolean":
+        if not isinstance(value, bool):
+            raise MarshalingError(
+                f"expected boolean in batch, got {value!r}"
+            )
+        return
+    if kind.name == "bit":
+        if not isinstance(value, Bit):
+            raise MarshalingError(f"expected bit in batch, got {value!r}")
+        return
+    if kind.is_enum:
+        if (
+            not isinstance(value, EnumValue)
+            or value.enum_name != kind.enum_name
+            or value.enum_size != kind.enum_size
+        ):
+            raise MarshalingError(f"expected {kind} in batch, got {value!r}")
+        return
+    if kind.is_array:
+        if (
+            not isinstance(value, ValueArray)
+            or value.element_kind != kind.element
+        ):
+            raise MarshalingError(f"expected {kind} in batch, got {value!r}")
+        return
+    raise MarshalingError(f"cannot batch values of kind {kind}")
+
+
+def infer_batch_kind(values) -> Kind:
+    """The homogeneous kind of a non-empty batch.
+
+    ``int`` widens to ``long`` when any element needs 64 bits (the
+    scalar path makes the same per-value decision in :func:`kind_of`);
+    any other kind mismatch is an error — a batch shares one header,
+    so it must share one layout.
+    """
+    values = list(values)
+    if not values:
+        raise MarshalingError(
+            "cannot infer the kind of an empty batch; pass kind="
+        )
+    kind = kind_of(values[0])
+    if kind.name in ("int", "long"):
+        for v in values:
+            k = kind_of(v)
+            if k.name not in ("int", "long"):
+                raise MarshalingError(
+                    f"heterogeneous batch: {kind} then {k}"
+                )
+            if k.name == "long":
+                kind = k
+        return kind
+    for v in values[1:]:
+        k = kind_of(v)
+        if k != kind:
+            raise MarshalingError(f"heterogeneous batch: {kind} then {k}")
+    return kind
+
+
+def _dense_size_hint(kind: Kind, count: int) -> int:
+    """Approximate payload bytes, for sizing the staging buffer."""
+    if kind.name == "bit":
+        return (count + 7) // 8
+    if kind.name in ("int", "float"):
+        return 4 * count
+    if kind.name in ("long", "double"):
+        return 8 * count
+    # booleans, enums: 1 byte each; nested arrays: unknowable cheaply.
+    return count
+
+
+def serialize_batch(
+    values,
+    kind: "Kind | None" = None,
+    pool: "BufferPool | None" = None,
+) -> bytes:
+    """Pack N homogeneous values into one contiguous 0x09 frame.
+
+    One header covers the whole batch, so per-value tag bytes and
+    per-crossing fixed costs are amortized over N. The frame's payload
+    block is byte-identical to the dense payload of
+    ``serialize(ValueArray(kind, values))`` — only the leading tag
+    differs — which is what the conformance suite locks down.
+
+    The staging buffer comes from ``pool`` (default: the process-wide
+    :data:`~repro.values.bufpool.DEFAULT_POOL`) and is returned to it
+    after the immutable snapshot is taken.
+    """
+    values = list(values)
+    if kind is None:
+        kind = infer_batch_kind(values)
+    if not (kind.is_scalar or kind.is_enum or kind.is_array):
+        raise MarshalingError(f"cannot batch values of kind {kind}")
+    for value in values:
+        _check_batch_element(kind, value)
+    pool = pool if pool is not None else DEFAULT_POOL
+    hint = 8 + _dense_size_hint(kind, len(values))
+    buffer = pool.acquire(hint)
+    try:
+        buffer.append(TAG_BATCH)
+        buffer += _encode_element_kind(kind)
+        buffer += struct.pack("<I", len(values))
+        buffer += _encode_dense(kind, values)
+        return bytes(buffer)
+    finally:
+        pool.release(buffer, hint)
+
+
+def _decode_batch_header(data: bytes) -> "tuple[Kind, int, int]":
+    """Parse a 0x09 frame header; returns (kind, count, payload offset)."""
+    if not data:
+        raise MarshalingError("empty wire payload")
+    if data[0] != TAG_BATCH:
+        raise MarshalingError(
+            f"expected batch tag 0x{TAG_BATCH:02x}, found 0x{data[0]:02x}"
+        )
+    kind, offset = _decode_element_kind(data, 1)
+    if len(data) < offset + 4:
+        raise MarshalingError("truncated batch header")
+    (count,) = struct.unpack_from("<I", data, offset)
+    return kind, count, offset + 4
+
+
+def batch_count(data: bytes) -> int:
+    """Number of values in a batch frame, without decoding the payload
+    (the marshaling boundary uses this to keep fault-injection call
+    indices element-accurate before deserializing)."""
+    return _decode_batch_header(data)[1]
+
+
+def batch_kind(data: bytes) -> Kind:
+    """The element kind of a batch frame, header-only."""
+    return _decode_batch_header(data)[0]
+
+
+def deserialize_batch(data: bytes) -> list:
+    """Unpack a 0x09 frame back into its list of values; trailing
+    bytes are an error, exactly as for :func:`deserialize`."""
+    kind, count, offset = _decode_batch_header(data)
+    items, end = _decode_dense(kind, data, offset, count)
+    if end != len(data):
+        raise MarshalingError("trailing bytes after batch payload")
+    return list(items)

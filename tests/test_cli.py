@@ -240,3 +240,34 @@ class TestProfileAndFormat:
         # Sorted by inclusive cycles descending.
         cycle_counts = [cycles for _, _, cycles in profile]
         assert cycle_counts == sorted(cycle_counts, reverse=True)
+
+
+class TestBatchSizeFlag:
+    def test_run_accepts_batch_size(self, bitflip_file, capsys):
+        # Same program, true per-element crossings: identical output.
+        code = main(
+            [
+                "run",
+                bitflip_file,
+                "Bitflip.taskFlip",
+                "110010111b",
+                "--batch-size",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "001101000b" in capsys.readouterr().out
+
+    def test_batch_size_must_be_positive(self, bitflip_file, capsys):
+        code = main(
+            [
+                "run",
+                bitflip_file,
+                "Bitflip.taskFlip",
+                "101b",
+                "--batch-size",
+                "0",
+            ]
+        )
+        assert code != 0
+        assert "batch_size must be positive" in capsys.readouterr().err

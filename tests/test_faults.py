@@ -210,3 +210,78 @@ class TestFaultInjector:
     def test_null_injector_is_inert(self):
         NULL_INJECTOR.check("device", ["t:x"])
         assert NULL_INJECTOR.fired() == 0
+
+
+class TestBatchedCallIndices:
+    """``check(count=N)`` keeps call indices element-accurate.
+
+    A batched boundary crossing of N values is ONE physical call but N
+    *logical* transfers; the injector must count it as N so fault plans
+    written against the per-element path fire at the same logical
+    points under any batch size (the differential suite's contract)."""
+
+    def test_count_n_equals_n_scalar_checks(self):
+        plan = lambda: FaultPlan([FaultSpec(on_calls=(4,), times=1)])
+        batched = FaultInjector(plan())
+        with pytest.raises(DeviceError):
+            batched.check("device", ["t:x"], count=10)
+        scalar = FaultInjector(plan())
+        for _ in range(3):
+            scalar.check("device", ["t:x"])
+        with pytest.raises(DeviceError):
+            scalar.check("device", ["t:x"])
+        assert [f.call_index for f in batched.log] == [4]
+        assert [(f.spec_index, f.site, f.target, f.call_index)
+                for f in batched.log] == [
+            (f.spec_index, f.site, f.target, f.call_index)
+            for f in scalar.log
+        ]
+
+    def test_fire_leaves_counter_at_firing_index(self):
+        # on_calls (2, 5): the first batch of 3 fires at logical call
+        # 2 and leaves calls 3.. unconsumed; the next batch resumes at
+        # 3 and fires at 5 — exactly the scalar path's bookkeeping.
+        injector = FaultInjector(FaultPlan([FaultSpec(on_calls=(2, 5))]))
+        with pytest.raises(DeviceError):
+            injector.check("device", ["t:x"], count=3)
+        with pytest.raises(DeviceError):
+            injector.check("device", ["t:x"], count=3)
+        injector.check("device", ["t:x"], count=3)  # calls 6-8
+        assert [f.call_index for f in injector.log] == [2, 5]
+
+    @pytest.mark.parametrize("chunk", [1, 7, 8, 64])
+    def test_probabilistic_fire_points_invariant_under_chunking(self, chunk):
+        # Drive 64 logical calls through the injector in ``chunk``-size
+        # batches, resuming after each fire (as the supervisor's retry
+        # does); the logical indices that fire must match the scalar
+        # path's exactly — the RNG draw sequence is per logical call,
+        # not per physical crossing.
+        def fire_points(step):
+            injector = FaultInjector(
+                FaultPlan([FaultSpec(probability=0.5)], seed=12)
+            )
+            fired, consumed = [], 0
+            while consumed < 64:
+                take = min(step, 64 - consumed)
+                try:
+                    injector.check("device", ["t:x"], count=take)
+                    consumed += take
+                except DeviceError:
+                    consumed = injector.log[-1].call_index
+                    fired.append(consumed)
+            return fired
+
+        scalar = fire_points(1)
+        assert 0 < len(scalar) < 64  # actually probabilistic
+        assert fire_points(chunk) == scalar
+
+    def test_count_zero_is_a_no_op(self):
+        injector = FaultInjector(FaultPlan([FaultSpec(on_calls=(1,))]))
+        injector.check("device", ["t:x"], count=0)
+        assert injector.fired() == 0
+        with pytest.raises(DeviceError):
+            injector.check("device", ["t:x"])
+
+    def test_null_injector_accepts_count(self):
+        NULL_INJECTOR.check("device", ["t:x"], count=128)
+        assert NULL_INJECTOR.fired() == 0

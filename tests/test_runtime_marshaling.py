@@ -152,3 +152,79 @@ class TestTimingLedger:
             "offloads",
             "graph_runs",
         }
+
+
+class TestBatchedBoundary:
+    """The batched fast path: one crossing per batch, not per value."""
+
+    def test_transfer_batch_preserves_values(self):
+        boundary = MarshalingBoundary()
+        values = [1, -2, 3, -4]
+        result, records = boundary.transfer_batch(values)
+        assert result == values
+        assert [r.direction for r in records] == [
+            "to-device",
+            "from-device",
+        ]
+
+    def test_one_crossing_per_batch(self):
+        # N per-element round trips pay N fixed crossings each way; one
+        # batched round trip pays exactly one — that amortization IS
+        # the fast path (docs/PERFORMANCE.md).
+        n = 64
+        per_element = MarshalingBoundary()
+        for v in range(n):
+            per_element.round_trip(v)
+        batched = MarshalingBoundary()
+        batched.transfer_batch(list(range(n)))
+        assert len(per_element.log) == 2 * n
+        assert len(batched.log) == 2
+        fixed = batched.costs.crossing_fixed_s
+        scalar_fixed_total = sum(r.crossing_s for r in per_element.log)
+        batch_fixed_total = sum(r.crossing_s for r in batched.log)
+        assert scalar_fixed_total >= 2 * n * fixed
+        assert batch_fixed_total < 2 * 2 * fixed + scalar_fixed_total / n
+
+    def test_batch_bytes_beat_per_element_bytes(self):
+        # One shared header vs a tag byte per value: the batch frame is
+        # strictly smaller than the sum of scalar frames for n > 1.
+        n = 100
+        scalar_bytes = sum(
+            len(MarshalingBoundary().to_device(v)[0]) for v in range(n)
+        )
+        batch_bytes = len(
+            MarshalingBoundary().to_device_batch(list(range(n)))[0]
+        )
+        assert batch_bytes < scalar_bytes
+
+    def test_counters_record_batch_shape(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        boundary = MarshalingBoundary(tracer=tracer)
+        boundary.transfer_batch([1.5, 2.5, 3.5])
+        counters = tracer.counters
+        assert counters.get("marshal.batch.crossings") == 2
+        assert counters.get("marshal.batch.values") == 6  # 3 each way
+        assert counters.get(f"marshal.bytes[{boundary.link.name}]") > 0
+        assert tracer.find("run.marshal.batch.to_device")
+        assert tracer.find("run.marshal.batch.from_device")
+
+    def test_explicit_kind_for_empty_batch(self):
+        boundary = MarshalingBoundary()
+        result, records = boundary.transfer_batch([], kind=KIND_INT)
+        assert result == []
+        assert len(records) == 2
+
+    def test_buffer_pool_reuses_staging_buffers(self):
+        from repro.values.bufpool import BufferPool
+        from repro.values import serialize_batch
+
+        pool = BufferPool()
+        for _ in range(5):
+            serialize_batch(list(range(256)), pool=pool)
+        stats = pool.stats()
+        assert stats["misses"] == 1     # first acquire allocates
+        assert stats["hits"] == 4       # the rest reuse it
+        assert stats["releases"] == 5
+        assert pool.pooled_buffers == 1
