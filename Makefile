@@ -2,9 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke examples trace-smoke fault-smoke all clean
+.PHONY: test bench bench-smoke examples trace-smoke fault-smoke \
+	profile-smoke all clean
 
-test: trace-smoke fault-smoke bench-smoke
+test: trace-smoke fault-smoke profile-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
 
 # The -m "" overrides pyproject's default "not slow" filter so the
@@ -40,6 +41,23 @@ trace-smoke:
 	from repro.obs import validate_trace_file; \
 	validate_trace_file('benchmarks/out/trace_smoke.json'); \
 	print('trace-smoke: benchmarks/out/trace_smoke.json valid')"
+
+# Profile a GPU map app and a streaming graph app end-to-end, writing
+# the machine-readable reports, then re-validate both files against
+# the repro.profile/1 schema (docs/PROFILING.md). Catches regressions
+# in the metrics registry, the profiler, and the report serializer.
+profile-smoke:
+	mkdir -p benchmarks/out
+	PYTHONPATH=src $(PYTHON) -m repro profile mandelbrot --json \
+		-o benchmarks/out/profile_smoke_mandelbrot.json > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro profile bitflip \
+		--scheduler threaded --json \
+		-o benchmarks/out/profile_smoke_bitflip.json > /dev/null
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.obs import validate_profile_file; \
+	validate_profile_file('benchmarks/out/profile_smoke_mandelbrot.json'); \
+	validate_profile_file('benchmarks/out/profile_smoke_bitflip.json'); \
+	print('profile-smoke: both profile reports valid')"
 
 # Kill every accelerator call against a GPU map app and an FPGA stream
 # app: both runs must still produce output identical to a cpu-only run,

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro compile  prog.lime            # toolchain report
     python -m repro run      prog.lime C.m 1 2.5  # execute an entry point
     python -m repro trace    mandelbrot           # traced run -> Chrome JSON
+    python -m repro profile  mandelbrot           # utilization + critical path
     python -m repro markers  prog.lime            # IDE-style marker view
     python -m repro graphs   prog.lime            # discovered task graphs
     python -m repro disas    prog.lime            # bytecode disassembly
@@ -226,6 +227,87 @@ def _cmd_trace(args) -> int:
     )
     if args.jsonl:
         print(f"wrote {args.jsonl}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Compile and run one app under tracing, then build and print the
+    structured profile report (docs/PROFILING.md)."""
+    import json
+
+    from repro.obs import Tracer
+    from repro.obs.profile import (
+        build_profile,
+        compare_profiles,
+        validate_profile,
+    )
+    from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
+
+    tracer = Tracer()
+    resolved = _resolve_target(args)
+    if resolved is None:
+        return 2
+    source, filename, name, entry, values = resolved
+    options = _options(args, tracer=tracer)
+    compiled = compile_program(source, filename=filename, options=options)
+    policy = SubstitutionPolicy(use_accelerators=not args.cpu_only)
+    config = RuntimeConfig(
+        policy=policy,
+        scheduler=args.scheduler,
+        tracer=tracer,
+        batch_size=args.batch_size,
+    )
+    outcome = Runtime(compiled, config).run(entry, values)
+    report = build_profile(
+        tracer,
+        ledger=outcome.ledger,
+        app=name,
+        entry=entry,
+        scheduler=args.scheduler,
+    )
+    problems = validate_profile(report.to_json())
+    if problems:
+        print("error: profile failed validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report.dumps())
+            f.write("\n")
+    if args.json:
+        print(report.dumps())
+    else:
+        print(report.render())
+    if args.out and not args.json:
+        print(f"\nwrote {args.out}")
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"error: cannot load baseline {args.baseline!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        regressions = compare_profiles(
+            report.to_json(), baseline, threshold=args.threshold
+        )
+        if regressions:
+            print(
+                f"\nREGRESSIONS vs {args.baseline} "
+                f"(threshold {args.threshold:.0%}):",
+                file=sys.stderr,
+            )
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"\nno regressions vs {args.baseline} "
+            f"(threshold {args.threshold:.0%})"
+        )
     return 0
 
 
@@ -502,6 +584,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_size_option(p)
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one app under tracing and print a structured "
+        "profile report (utilization, queues, critical path)",
+    )
+    p.add_argument(
+        "target",
+        help="suite app name (e.g. mandelbrot) or a Lime source file",
+    )
+    p.add_argument(
+        "--entry",
+        help="qualified entry point (required for .lime files; "
+        "overrides the suite default workload)",
+    )
+    p.add_argument("args", nargs="*", help="argument literals for --entry")
+    p.add_argument("--no-gpu", action="store_true")
+    p.add_argument("--no-fpga", action="store_true")
+    p.add_argument("--fpga-pipelined", action="store_true")
+    p.add_argument("--cpu-only", action="store_true")
+    p.add_argument(
+        "--scheduler",
+        choices=("threaded", "sequential"),
+        default="threaded",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable JSON report instead of text",
+    )
+    p.add_argument(
+        "-o",
+        "--out",
+        help="also write the JSON report to this path",
+    )
+    p.add_argument(
+        "--baseline",
+        help="baseline profile JSON to compare against; exits non-zero "
+        "when a deterministic metric regresses beyond --threshold",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="regression threshold for --baseline (default 0.10 = 10%%)",
+    )
+    batch_size_option(p)
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
         "faults",

@@ -22,9 +22,27 @@ from repro.obs.export import (
     write_chrome_trace,
     write_json_lines,
 )
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counters,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    as_metrics,
+)
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    ProfileReport,
+    build_profile,
+    compare_profiles,
+    critical_path,
+    render_profile,
+    validate_profile,
+    validate_profile_file,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
-    Counters,
     NullTracer,
     Span,
     Tracer,
@@ -33,14 +51,28 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counters",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
     "NULL_TRACER",
     "NullTracer",
+    "PROFILE_SCHEMA",
+    "ProfileReport",
     "Span",
     "Tracer",
+    "as_metrics",
     "as_tracer",
+    "build_profile",
+    "compare_profiles",
+    "critical_path",
+    "render_profile",
     "render_span_tree",
     "to_chrome_trace",
     "to_json_lines",
+    "validate_profile",
+    "validate_profile_file",
     "validate_trace_events",
     "validate_trace_file",
     "write_chrome_trace",

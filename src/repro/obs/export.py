@@ -83,10 +83,16 @@ def to_chrome_trace(tracer, process_name: str = "repro") -> dict:
             }
         )
     counters = tracer.counters.snapshot()
+    other: dict = {"counters": counters}
+    metrics = getattr(tracer, "metrics", None)
+    if metrics is not None and getattr(metrics, "enabled", False):
+        snapshot = metrics.snapshot()
+        other["gauges"] = snapshot["gauges"]
+        other["histograms"] = snapshot["histograms"]
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"counters": counters},
+        "otherData": other,
     }
 
 
@@ -131,6 +137,17 @@ def to_json_lines(tracer) -> str:
                 sort_keys=True,
             )
         )
+    metrics = getattr(tracer, "metrics", None)
+    if metrics is not None and getattr(metrics, "enabled", False):
+        snapshot = metrics.snapshot()
+        for kind in ("gauge", "histogram"):
+            for name, data in snapshot[f"{kind}s"].items():
+                lines.append(
+                    json.dumps(
+                        {"type": kind, "name": name, "data": data},
+                        sort_keys=True,
+                    )
+                )
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -27,51 +27,15 @@ import itertools
 import threading
 import time
 
-
-class Counters:
-    """A thread-safe registry of named monotonic counters."""
-
-    __slots__ = ("_lock", "_values")
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._values: dict[str, float] = {}
-
-    def add(self, name: str, amount: float = 1) -> None:
-        with self._lock:
-            self._values[name] = self._values.get(name, 0) + amount
-
-    def get(self, name: str) -> float:
-        return self._values.get(name, 0)
-
-    def snapshot(self) -> dict:
-        """Point-in-time copy, sorted by counter name."""
-        with self._lock:
-            return dict(sorted(self._values.items()))
-
-    def __len__(self) -> int:
-        return len(self._values)
-
-    def __repr__(self) -> str:
-        return f"Counters({self.snapshot()!r})"
-
-
-class _NullCounters:
-    """No-op counters for the null tracer."""
-
-    __slots__ = ()
-
-    def add(self, name: str, amount: float = 1) -> None:
-        pass
-
-    def get(self, name: str) -> float:
-        return 0
-
-    def snapshot(self) -> dict:
-        return {}
-
-    def __len__(self) -> int:
-        return 0
+# Counters moved into the metrics registry (repro.obs.metrics) so one
+# module owns every instrument kind; re-exported here because the
+# original public path was repro.obs.tracer.Counters.
+from repro.obs.metrics import (  # noqa: F401  (re-export)
+    NULL_METRICS,
+    Counters,
+    MetricsRegistry,
+    _NullCounters,
+)
 
 
 class Span:
@@ -179,7 +143,8 @@ class Tracer:
         self._ids = itertools.count(1)
         self._local = threading.local()
         self.spans: list[Span] = []
-        self.counters = Counters()
+        self.metrics = MetricsRegistry()
+        self.counters = self.metrics.counters
 
     # -- recording -------------------------------------------------------
 
@@ -271,7 +236,8 @@ class NullTracer:
 
     enabled = False
     spans: tuple = ()
-    counters = _NullCounters()
+    metrics = NULL_METRICS
+    counters = NULL_METRICS.counters
 
     def span(self, name: str, parent=None, **attributes) -> _NullSpan:
         return _NULL_SPAN

@@ -66,10 +66,18 @@ class Pipeline:
                     "source/sink in the middle of a pipeline"
                 )
 
-    def wire(self, capacity: int = 64) -> None:
-        """Create the FIFO connections between consecutive tasks."""
+    def wire(self, capacity: int = 64, metrics=None) -> None:
+        """Create the FIFO connections between consecutive tasks.
+
+        ``metrics`` (a :class:`repro.obs.MetricsRegistry`) attaches
+        per-edge depth/wait instrumentation to every connection; the
+        default ``None`` keeps the hot path untouched."""
         for upstream, downstream in zip(self.tasks, self.tasks[1:]):
-            conn = Connection(capacity)
+            conn = Connection(
+                capacity,
+                metrics=metrics,
+                name=f"{upstream.task_id}->{downstream.task_id}",
+            )
             conn.producer = upstream
             conn.consumer = downstream
             upstream.output_conn = conn

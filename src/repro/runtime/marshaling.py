@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.devices.interconnect import PCIE_GEN2_X16, Link
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.faults import NULL_INJECTOR
 from repro.runtime.timing import TransferRecord
@@ -61,6 +62,7 @@ class MarshalingBoundary:
         self.link = link
         self.costs = costs or BoundaryCosts()
         self.tracer = tracer
+        self.metrics = getattr(tracer, "metrics", NULL_METRICS)
         # Fault-injection hook (docs/RESILIENCE.md): marshaling fault
         # specs target the boundary by name ('gpu'/'fpga') or link.
         self.injector = injector or NULL_INJECTOR
@@ -81,6 +83,14 @@ class MarshalingBoundary:
             link_name=self.link.name,
         )
         self.log.append(record)
+        # Latency/size distributions come for free at this seam: one
+        # observation per crossing, in deterministic simulated time.
+        self.metrics.histogram("marshal.crossing_us").observe(
+            record.total_s * 1e6
+        )
+        self.metrics.histogram("marshal.bytes_per_crossing").observe(
+            num_bytes
+        )
         return record
 
     def to_device(self, value) -> "tuple[bytes, TransferRecord]":
@@ -197,6 +207,7 @@ class MarshalingBoundary:
         counters.add(f"marshal.bytes[{self.link.name}]", num_bytes)
         counters.add("marshal.batch.crossings")
         counters.add("marshal.batch.values", n_values)
+        self.metrics.histogram("marshal.batch.size").observe(n_values)
 
     @property
     def total_seconds(self) -> float:

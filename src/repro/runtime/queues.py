@@ -5,14 +5,24 @@
 downstream stage is slow, and carries an end-of-stream sentinel so
 graph termination propagates: "the graph execution terminates when the
 last bit produced by the source is consumed by the sink."
+
+When a metrics registry is attached (profiling runs), every ``put``
+samples the queue depth into a per-edge histogram and both sides
+accumulate their blocking time (``producer_wait_s`` /
+``consumer_wait_s``), which the schedulers surface as explicit
+``queue_wait_*`` span attributes and the profiler turns into
+utilization and queue-occupancy statistics. Without a registry the
+hot path is untouched.
 """
 
 from __future__ import annotations
 
 import queue as _queue
+import time
 from typing import Optional
 
 from repro.errors import RuntimeGraphError
+from repro.obs.metrics import DEPTH_BUCKETS
 
 
 class EndOfStream:
@@ -35,22 +45,61 @@ END_OF_STREAM = EndOfStream()
 class Connection:
     """A bounded FIFO between a producer task and a consumer task."""
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64, metrics=None, name: str = ""):
         if capacity < 1:
             raise RuntimeGraphError("connection capacity must be >= 1")
         self._queue: _queue.Queue = _queue.Queue(maxsize=capacity)
         self.capacity = capacity
+        self.name = name
         self.producer = None
         self.consumer = None
         self.items_transferred = 0
+        # Each wait accumulator is written only by its owning side
+        # (producer thread / consumer thread), so no lock is needed.
+        self.producer_wait_s = 0.0
+        self.consumer_wait_s = 0.0
+        if metrics is not None and getattr(metrics, "enabled", False):
+            self._metrics = metrics
+            label = name or "anonymous"
+            self._depth_hist = metrics.histogram(
+                f"queue.depth[{label}]", buckets=DEPTH_BUCKETS
+            )
+            self._counters = metrics.counters
+            self._label = label
+        else:
+            self._metrics = None
 
     def put(self, item) -> None:
-        self._queue.put(item)
+        if self._metrics is None:
+            self._queue.put(item)
+        else:
+            self._depth_hist.observe(self._queue.qsize())
+            start = time.perf_counter()
+            self._queue.put(item)
+            self.producer_wait_s += time.perf_counter() - start
         if item is not END_OF_STREAM:
             self.items_transferred += 1
+        elif self._metrics is not None:
+            # End of stream: the producer is done — flush its total
+            # blocking time so reports can read it from counters even
+            # when no stage span captured it.
+            self._counters.add(
+                f"queue.producer_wait_us[{self._label}]",
+                self.producer_wait_s * 1e6,
+            )
 
     def get(self):
-        return self._queue.get()
+        if self._metrics is None:
+            return self._queue.get()
+        start = time.perf_counter()
+        item = self._queue.get()
+        self.consumer_wait_s += time.perf_counter() - start
+        if item is END_OF_STREAM:
+            self._counters.add(
+                f"queue.consumer_wait_us[{self._label}]",
+                self.consumer_wait_s * 1e6,
+            )
+        return item
 
     def get_batch(self, count: int) -> "list":
         """Blockingly read ``count`` items; a premature end-of-stream

@@ -67,7 +67,9 @@ class SequentialScheduler:
                         # so a trace explains the crossing count.
                         span.set(batch_size=batch_size)
                     items = task.process_batch(items, ctx)
-                    span.set(out_items=len(items))
+                    # No FIFOs in sequential mode: the explicit zero
+                    # keeps profile reports uniform across schedulers.
+                    span.set(out_items=len(items), queue_wait_us=0.0)
             except BaseException as exc:
                 # A mid-stage failure must not leave the pipeline
                 # looking "never started": record it so join() surfaces
@@ -108,7 +110,9 @@ class ThreadedScheduler:
 
     def start(self, pipeline: Pipeline, ctx: ExecutionContext) -> None:
         pipeline.validate()
-        pipeline.wire(self.queue_capacity)
+        pipeline.wire(
+            self.queue_capacity, metrics=getattr(ctx.tracer, "metrics", None)
+        )
         errors: list = []  # [(task, exception)]
         tracer = ctx.tracer
         # Stage spans run on worker threads; capture the graph span on
@@ -138,6 +142,24 @@ class ThreadedScheduler:
                             out_items=task.output_conn.items_transferred,
                             queue_depth=task.output_conn.approximate_depth,
                         )
+                    # Queue-wait is an explicit attribute (not folded
+                    # into the span duration) so profile reports can
+                    # separate blocking on FIFOs from actual work.
+                    wait_in = (
+                        task.input_conn.consumer_wait_s
+                        if task.input_conn is not None
+                        else 0.0
+                    )
+                    wait_out = (
+                        task.output_conn.producer_wait_s
+                        if task.output_conn is not None
+                        else 0.0
+                    )
+                    span.set(
+                        queue_wait_in_us=wait_in * 1e6,
+                        queue_wait_out_us=wait_out * 1e6,
+                        queue_wait_us=(wait_in + wait_out) * 1e6,
+                    )
             except BaseException as exc:  # propagate to finish()
                 errors.append((task, exc))
                 # Unblock downstream by closing our output if any.

@@ -28,6 +28,7 @@ from repro.errors import (
     MarshalingError,
     RetryExhaustedError,
 )
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.faults import _XorShift
 
@@ -118,6 +119,7 @@ class Supervisor:
                  tracer=NULL_TRACER):
         self.policy = policy or RetryPolicy()
         self.tracer = tracer
+        self.metrics = getattr(tracer, "metrics", NULL_METRICS)
         self._rng = _XorShift(self.policy.seed)
         self._lock = threading.Lock()
         self.demotions: list[DemotionRecord] = []
@@ -153,6 +155,9 @@ class Supervisor:
                     self.total_backoff_s += backoff
                 counters.add("retry.attempt")
                 counters.add(f"retry.attempt[{device}]")
+                self.metrics.histogram("retry.backoff_us").observe(
+                    backoff * 1e6
+                )
                 with self.tracer.span(
                     "retry.attempt",
                     task_id=task_id,

@@ -44,6 +44,13 @@ class ExecutionContext:
         config = getattr(self.engine, "config", None)
         return getattr(config, "tracer", None) or NULL_TRACER
 
+    @property
+    def metrics(self):
+        """The tracer's metrics registry (null when disabled)."""
+        from repro.obs.metrics import NULL_METRICS
+
+        return getattr(self.tracer, "metrics", NULL_METRICS)
+
 
 class Task:
     kind = "task"
@@ -181,6 +188,13 @@ class FilterTask(Task):
             return [self.instance] + list(batch)
         return list(batch)
 
+    def _latency_observer(self, ctx):
+        """Per-firing simulated-latency histogram observer, or ``None``
+        when metrics are disabled (so the hot loop pays one None check
+        per firing, nothing more)."""
+        hist = ctx.metrics.histogram(f"stage.item_latency_us[{self.task_id}]")
+        return hist.observe if hist.enabled else None
+
     def process_batch(self, items, ctx):
         stage = self._stage(ctx)
         out = []
@@ -189,12 +203,15 @@ class FilterTask(Task):
                 f"filter {self.method} requires groups of {self.arity} "
                 f"items; {len(items)} provided"
             )
+        observe = self._latency_observer(ctx)
         cycles = 0
         for i in range(0, len(items), self.arity):
             value, used = ctx.invoke(
                 self.method, self._call_args(items[i : i + self.arity])
             )
             cycles += used + _QUEUE_CYCLES
+            if observe is not None:
+                observe(ctx.seconds_for_cycles(used + _QUEUE_CYCLES) * 1e6)
             out.append(value)
         stage.items += len(out)
         stage.busy_s += ctx.seconds_for_cycles(cycles)
@@ -202,6 +219,7 @@ class FilterTask(Task):
 
     def run(self, ctx):
         stage = self._stage(ctx)
+        observe = self._latency_observer(ctx)
         cycles = 0
         while True:
             batch = self.input_conn.get_batch(self.arity)
@@ -209,6 +227,8 @@ class FilterTask(Task):
                 break
             value, used = ctx.invoke(self.method, self._call_args(batch))
             cycles += used + _QUEUE_CYCLES
+            if observe is not None:
+                observe(ctx.seconds_for_cycles(used + _QUEUE_CYCLES) * 1e6)
             self.output_conn.put(value)
             stage.items += 1
         stage.busy_s += ctx.seconds_for_cycles(cycles)

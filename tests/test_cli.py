@@ -271,3 +271,79 @@ class TestBatchSizeFlag:
         )
         assert code != 0
         assert "batch_size must be positive" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_text_report(self, capsys):
+        assert main(["profile", "mandelbrot"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: mandelbrot" in out
+        assert "critical path" in out
+        assert "bottleneck:" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["profile", "bitflip", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.profile/1"
+        assert payload["stages"]
+        assert payload["queues"]  # threaded graph app has FIFO edges
+        assert payload["critical_path"]["segments"]
+
+    def test_out_writes_valid_file(self, tmp_path, capsys):
+        from repro.obs import validate_profile_file
+
+        out = tmp_path / "profile.json"
+        assert main(["profile", "mandelbrot", "--json", "-o", str(out)]) == 0
+        capsys.readouterr()
+        payload = validate_profile_file(str(out))
+        assert payload["app"] == "mandelbrot"
+
+    def test_lime_file_target(self, bitflip_file, capsys):
+        code = main(
+            [
+                "profile",
+                bitflip_file,
+                "110010111b",
+                "--entry",
+                "Bitflip.taskFlip",
+                "--scheduler",
+                "sequential",
+            ]
+        )
+        assert code == 0
+        assert "profile: bitflip" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self, capsys):
+        assert main(["profile", "nope-not-an-app"]) == 2
+        assert "neither a file nor a suite app" in capsys.readouterr().err
+
+    def test_baseline_clean_pass(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["profile", "mandelbrot", "--json", "-o", str(base)]) == 0
+        capsys.readouterr()
+        code = main(["profile", "mandelbrot", "--baseline", str(base)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_baseline_flags_injected_slowdown(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["profile", "mandelbrot", "--json", "-o", str(base)]) == 0
+        capsys.readouterr()
+        # Forcing the GPU map back onto the CPU inflates the simulated
+        # time by orders of magnitude: the gate must trip.
+        code = main(
+            ["profile", "mandelbrot", "--cpu-only", "--baseline", str(base)]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "REGRESSIONS" in err
+        assert "simulated.total_s" in err
+
+    def test_baseline_missing_file(self, capsys):
+        code = main(
+            ["profile", "mandelbrot", "--baseline", "/nonexistent.json"]
+        )
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err

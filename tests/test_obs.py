@@ -26,6 +26,7 @@ from repro.obs import (
     validate_trace_file,
     write_chrome_trace,
 )
+from repro.obs.export import span_to_event
 from repro.obs.tracer import _NULL_SPAN
 from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
 
@@ -233,6 +234,98 @@ class TestExport:
         assert lines[0].startswith("compile ")
         assert lines[1].startswith("  compile.frontend")
         assert "classes=1" in lines[1]
+
+
+class TestSpanToEventEdgeCases:
+    """Edge cases of the Chrome exporter's per-span conversion."""
+
+    @staticmethod
+    def _frozen_tracer():
+        """A tracer whose clock only moves when told to."""
+        now = [0.0]
+        tracer = Tracer(clock=lambda: now[0])
+        return tracer, now
+
+    def test_zero_duration_span_exports_valid_event(self):
+        tracer, _ = self._frozen_tracer()
+        with tracer.span("run.marshal.to_device"):
+            pass  # clock never advances: a genuine zero-length span
+        (span,) = tracer.spans
+        assert span.duration_us == 0.0
+        event = span_to_event(span)
+        assert event["dur"] == 0.0
+        assert event["ph"] == "X"
+        assert validate_trace_events({"traceEvents": [event]}) == []
+
+    def test_non_string_attribute_values_are_jsonable(self):
+        tracer, now = self._frozen_tracer()
+
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        with tracer.span(
+            "run.offload",
+            count=3,
+            ratio=0.5,
+            flag=True,
+            nothing=None,
+            shape=(4, 8),
+            nested={"k": (1, 2), 5: "five"},
+            opaque=Opaque(),
+        ):
+            now[0] += 10.0
+        (span,) = tracer.spans
+        event = span_to_event(span)
+        args = event["args"]
+        assert args["count"] == 3 and args["ratio"] == 0.5
+        assert args["flag"] is True and args["nothing"] is None
+        assert args["shape"] == [4, 8]  # tuples become JSON arrays
+        assert args["nested"] == {"k": [1, 2], "5": "five"}  # keys coerced
+        assert args["opaque"] == "<opaque thing>"
+        json.dumps(event)  # the whole event must serialize
+
+    def test_nested_parent_ordering_in_chrome_output(self):
+        tracer, now = self._frozen_tracer()
+        with tracer.span("run"):
+            now[0] += 1.0
+            with tracer.span("run.graph"):
+                now[0] += 2.0
+                with tracer.span("run.graph.stage", task_id="s0"):
+                    now[0] += 3.0
+            now[0] += 1.0
+        payload = to_chrome_trace(tracer)
+        x_events = {
+            e["name"]: e for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        run = x_events["run"]
+        graph = x_events["run.graph"]
+        stage = x_events["run.graph.stage"]
+        # Spans complete innermost-first, so children precede parents
+        # in the event list; nesting is reconstructed from ts/dur.
+        order = [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert order.index("run.graph.stage") < order.index("run.graph")
+        assert order.index("run.graph") < order.index("run")
+        # Parent ids chain the tree explicitly too.
+        assert stage["args"]["parent_id"] == graph["args"]["span_id"]
+        assert graph["args"]["parent_id"] == run["args"]["span_id"]
+        assert "parent_id" not in run["args"]
+        # And each child's window sits inside its parent's.
+        for child, parent in ((stage, graph), (graph, run)):
+            assert child["ts"] >= parent["ts"]
+            assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_metrics_sections_in_exports(self):
+        tracer, _ = traced_run("bitflip")
+        payload = to_chrome_trace(tracer)
+        other = payload["otherData"]
+        assert other["histograms"]["marshal.crossing_us"]["count"] >= 2
+        lines = [
+            json.loads(line)
+            for line in to_json_lines(tracer).splitlines()
+        ]
+        kinds = {o["type"] for o in lines}
+        assert "histogram" in kinds
 
 
 class TestOptionsAPI:
