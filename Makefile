@@ -3,9 +3,9 @@
 PYTHON ?= python
 
 .PHONY: test bench bench-smoke examples trace-smoke fault-smoke \
-	profile-smoke all clean
+	profile-smoke health-smoke all clean
 
-test: trace-smoke fault-smoke profile-smoke bench-smoke
+test: trace-smoke fault-smoke profile-smoke health-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
 
 # The -m "" overrides pyproject's default "not slow" filter so the
@@ -58,6 +58,23 @@ profile-smoke:
 	validate_profile_file('benchmarks/out/profile_smoke_mandelbrot.json'); \
 	validate_profile_file('benchmarks/out/profile_smoke_bitflip.json'); \
 	print('profile-smoke: both profile reports valid')"
+
+# Transient-window recovery end-to-end: the first device call fails, so
+# the GPU span is demoted, shadow-probed after the breaker cools down,
+# and re-promoted within the same run — with output identical to a
+# cpu-only run — then the emitted report is re-validated against the
+# repro.health/1 schema (docs/RESILIENCE.md).
+health-smoke:
+	mkdir -p benchmarks/out
+	PYTHONPATH=src $(PYTHON) -m repro health gray_pipeline \
+		--plan examples/fault_plans/transient_gpu_window.json \
+		--scheduler sequential --batch-size 16 \
+		--require-repromotions 1 \
+		-o benchmarks/out/health_smoke.json > /dev/null
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.runtime import validate_health_file; \
+	validate_health_file('benchmarks/out/health_smoke.json'); \
+	print('health-smoke: benchmarks/out/health_smoke.json valid')"
 
 # Kill every accelerator call against a GPU map app and an FPGA stream
 # app: both runs must still produce output identical to a cpu-only run,

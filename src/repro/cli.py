@@ -413,6 +413,122 @@ def _cmd_faults(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_health(args) -> int:
+    """Run an app under a fault plan with circuit-breaker recovery
+    enabled and print the device-health report (``repro.health/1``):
+    per-span breaker states, every transition stamped with simulated
+    time, probe/re-promotion tallies. The degraded run must still
+    produce output identical to a cpu-only reference (shadow probes
+    keep bytecode authoritative), so the command fails when outputs
+    diverge — or when fewer re-promotions happened than
+    ``--require-repromotions`` demands."""
+    import json
+
+    from repro.obs import Tracer
+    from repro.runtime import (
+        FaultPlan,
+        HealthPolicy,
+        RetryPolicy,
+        Runtime,
+        RuntimeConfig,
+        SubstitutionPolicy,
+        load_fault_plan,
+        render_health_report,
+        validate_health_report,
+    )
+
+    resolved = _resolve_target(args)
+    if resolved is None:
+        return 2
+    source, filename, name, entry, values = resolved
+    plan = load_fault_plan(args.plan) if args.plan else None
+    if plan is not None and args.seed is not None:
+        plan = FaultPlan(plan.specs, seed=args.seed)
+
+    compiled = compile_program(
+        source, filename=filename, options=_options(args)
+    )
+
+    # Reference: accelerators disabled — the answer the health-mediated
+    # run must reproduce exactly (probes keep bytecode authoritative).
+    reference = Runtime(
+        compiled,
+        RuntimeConfig(
+            policy=SubstitutionPolicy(use_accelerators=False),
+            scheduler=args.scheduler,
+        ),
+    ).run(entry, values)
+
+    tracer = Tracer()
+    health = HealthPolicy(
+        window=args.window,
+        failure_threshold=args.failure_threshold,
+        cooldown_s=(
+            None if args.cooldown_us is None else args.cooldown_us * 1e-6
+        ),
+        probe_batches=args.probe_batches,
+        quarantine_multiplier=args.quarantine,
+        max_cooldown_s=args.max_cooldown_us * 1e-6,
+    )
+    runtime = Runtime(
+        compiled,
+        RuntimeConfig(
+            scheduler=args.scheduler,
+            tracer=tracer,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            health=health,
+            batch_size=args.batch_size,
+        ),
+    )
+    outcome = runtime.run(entry, values)
+    report = runtime.health.to_report(
+        app=name, entry=entry, scheduler=args.scheduler
+    )
+    problems = validate_health_report(report)
+    if problems:
+        print("error: health report failed validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_health_report(report))
+        if args.out:
+            print(f"\nwrote {args.out}")
+
+    ok = True
+    if outcome.output != reference.output or not _values_equal(
+        outcome.value, reference.value
+    ):
+        print(
+            "FAIL: output differs from the cpu-only reference",
+            file=sys.stderr,
+        )
+        ok = False
+    else:
+        # --json consumers pipe stdout straight into a JSON parser;
+        # keep the status line off it.
+        print(
+            "output matches the cpu-only reference",
+            file=sys.stderr if args.json else sys.stdout,
+        )
+    repromotions = report["totals"]["repromotions"]
+    if repromotions < args.require_repromotions:
+        print(
+            f"FAIL: expected >= {args.require_repromotions} "
+            f"re-promotion(s), saw {repromotions}",
+            file=sys.stderr,
+        )
+        ok = False
+    return 0 if ok else 1
+
+
 def _values_equal(left, right) -> bool:
     if left is None and right is None:
         return True
@@ -677,6 +793,102 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_size_option(p)
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "health",
+        help="run an app with circuit-breaker recovery enabled and "
+        "print the device-health report (breaker transitions, shadow "
+        "probes, re-promotions)",
+    )
+    p.add_argument(
+        "target",
+        help="suite app name (e.g. gray_pipeline) or a Lime source file",
+    )
+    p.add_argument(
+        "--entry",
+        help="qualified entry point (required for .lime files; "
+        "overrides the suite default workload)",
+    )
+    p.add_argument("args", nargs="*", help="argument literals for --entry")
+    p.add_argument("--no-gpu", action="store_true")
+    p.add_argument("--no-fpga", action="store_true")
+    p.add_argument("--fpga-pipelined", action="store_true")
+    p.add_argument(
+        "--plan",
+        help="fault plan JSON file (default: no faults — breakers "
+        "stay CLOSED)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None, help="override the plan's RNG seed"
+    )
+    p.add_argument(
+        "--scheduler",
+        choices=("threaded", "sequential"),
+        default="threaded",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        help="retry attempts per device call before the failure is "
+        "reported to the breaker",
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="sliding outcome window per breaker",
+    )
+    p.add_argument(
+        "--failure-threshold",
+        type=int,
+        default=1,
+        help="failures within the window that open the breaker",
+    )
+    p.add_argument(
+        "--cooldown-us",
+        type=float,
+        default=1.0,
+        help="simulated microseconds a breaker stays OPEN before "
+        "HALF_OPEN probing (omit recovery entirely with the plain "
+        "`faults` command)",
+    )
+    p.add_argument(
+        "--probe-batches",
+        type=int,
+        default=2,
+        help="consecutive clean shadow probes required to re-close",
+    )
+    p.add_argument(
+        "--quarantine",
+        type=float,
+        default=2.0,
+        help="cool-down multiplier per successive trip (hysteresis)",
+    )
+    p.add_argument(
+        "--max-cooldown-us",
+        type=float,
+        default=1e6,
+        help="cap on the escalated cool-down (simulated microseconds)",
+    )
+    p.add_argument(
+        "--require-repromotions",
+        type=int,
+        default=0,
+        help="fail unless at least this many re-promotions happened",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable JSON report instead of text",
+    )
+    p.add_argument(
+        "-o",
+        "--out",
+        help="also write the JSON report to this path",
+    )
+    batch_size_option(p)
+    p.set_defaults(fn=_cmd_health)
 
     p = sub.add_parser("format", help="pretty-print (normalize) a source file")
     common(p)

@@ -190,7 +190,13 @@ def _segment_category(name: str) -> str:
         return "stage"
     if name == "run.substitution":
         return "planning"
-    if name in ("retry.attempt", "demotion.taken"):
+    if name in (
+        "retry.attempt",
+        "retry.recovered",
+        "demotion.taken",
+        "breaker.transition",
+        "probe.shadow",
+    ):
         return "recovery"
     if name in ("run", "run.graph"):
         return "host"

@@ -13,6 +13,15 @@ from repro.runtime.faults import (
     load_fault_plan,
 )
 from repro.runtime.graph import Pipeline
+from repro.runtime.health import (
+    DeviceHealth,
+    HealthPolicy,
+    HealthRegistry,
+    TransitionRecord,
+    render_health_report,
+    validate_health_file,
+    validate_health_report,
+)
 from repro.runtime.marshaling import BoundaryCosts, MarshalingBoundary
 from repro.runtime.queues import END_OF_STREAM, Connection
 from repro.runtime.scheduler import SequentialScheduler, ThreadedScheduler
@@ -40,17 +49,21 @@ __all__ = [
     "BoundaryCosts",
     "Connection",
     "DemotionRecord",
+    "DeviceHealth",
     "DeviceTask",
     "END_OF_STREAM",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "FilterTask",
+    "HealthPolicy",
+    "HealthRegistry",
     "InjectedFault",
     "MarshalingBoundary",
     "NULL_INJECTOR",
     "Pipeline",
     "RetryPolicy",
+    "TransitionRecord",
     "RunOutcome",
     "Runtime",
     "RuntimeConfig",
@@ -65,4 +78,7 @@ __all__ = [
     "kill_all_devices_plan",
     "load_fault_plan",
     "plan_substitutions",
+    "render_health_report",
+    "validate_health_file",
+    "validate_health_report",
 ]

@@ -47,6 +47,8 @@ ERRORS = (
     "marshaling",  # raises MarshalingError (retryable by default)
     "timeout",     # raises DeviceTimeoutError (demotes immediately)
     "stall",       # sleeps stall_s without raising (trips the watchdog)
+    "corrupt",     # silently perturbs device outputs (wrong answers);
+                   # only shadow probes (docs/RESILIENCE.md) catch it
 )
 
 
@@ -75,8 +77,16 @@ class FaultSpec:
 
     A spec matches a site and a target pattern; among matching calls it
     fires on the listed 1-based ``on_calls`` indices (every call when
-    empty), with ``probability`` (decided by the plan's seeded RNG),
-    at most ``times`` times (unlimited when ``None``).
+    empty), within the burst window ``[from_call, until_call]`` (both
+    1-based and inclusive; unbounded when ``None``), with
+    ``probability`` (decided by the plan's seeded RNG), at most
+    ``times`` times (unlimited when ``None``).
+
+    Burst windows are how a *transient* outage is expressed: the call
+    stream is the runtime's deterministic proxy for time, so
+    ``until_call=3`` means "this device is broken for its first three
+    calls and healthy afterwards" — which makes demotion, shadow
+    probing, and re-promotion (docs/RESILIENCE.md) reachable in tests.
     """
 
     site: str = "device"
@@ -84,6 +94,8 @@ class FaultSpec:
     target: str = "*"          # fnmatch over task/artifact ids (device
                                # site) or boundary name (marshal sites)
     on_calls: tuple = ()       # 1-based matching-call indices
+    from_call: "int | None" = None   # burst window start (inclusive)
+    until_call: "int | None" = None  # burst window end (inclusive)
     probability: float = 1.0
     times: "int | None" = None
     stall_s: float = 0.0       # wall-clock stall for error == 'stall'
@@ -120,17 +132,45 @@ class FaultSpec:
             raise ConfigurationError(
                 f"fault on_calls are 1-based, got {self.on_calls}"
             )
+        for name in ("from_call", "until_call"):
+            bound = getattr(self, name)
+            if bound is not None and bound < 1:
+                raise ConfigurationError(
+                    f"fault {name} is 1-based, got {bound}"
+                )
+        if (
+            self.from_call is not None
+            and self.until_call is not None
+            and self.until_call < self.from_call
+        ):
+            raise ConfigurationError(
+                f"fault window is empty: from_call={self.from_call} > "
+                f"until_call={self.until_call}"
+            )
 
     def matches(self, site: str, targets: list) -> bool:
         if site != self.site:
             return False
         return any(fnmatch.fnmatch(t, self.target) for t in targets)
 
+    def in_window(self, call: int) -> bool:
+        """Whether the 1-based matching-call index falls inside the
+        spec's burst window."""
+        if self.from_call is not None and call < self.from_call:
+            return False
+        if self.until_call is not None and call > self.until_call:
+            return False
+        return True
+
     def to_dict(self) -> dict:
         payload = {"site": self.site, "error": self.error,
                    "target": self.target}
         if self.on_calls:
             payload["on_calls"] = list(self.on_calls)
+        if self.from_call is not None:
+            payload["from_call"] = self.from_call
+        if self.until_call is not None:
+            payload["until_call"] = self.until_call
         if self.probability != 1.0:
             payload["probability"] = self.probability
         if self.times is not None:
@@ -171,8 +211,9 @@ class FaultPlan:
             raise ConfigurationError(
                 f"fault plan must be a JSON object, got {type(payload).__name__}"
             )
-        known = {"site", "error", "target", "on_calls", "probability",
-                 "times", "stall_s", "message"}
+        known = {"site", "error", "target", "on_calls", "from_call",
+                 "until_call", "probability", "times", "stall_s",
+                 "message"}
         specs = []
         for entry in payload.get("faults", []):
             fields = {k: v for k, v in entry.items() if k in known}
@@ -216,6 +257,34 @@ def kill_all_devices_plan(seed: int = 0) -> FaultPlan:
     return FaultPlan(
         [FaultSpec(site="device", error="device", target="*")], seed=seed
     )
+
+
+def _corrupt_value(value):
+    """A deterministic wrong-but-plausible perturbation of one value."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ 1
+    if isinstance(value, float):
+        return value + 1.0
+    try:
+        return ~value  # Bit values invert
+    except TypeError:
+        return value
+
+
+def _corrupt_outputs(outputs: list) -> list:
+    """Perturb a device result batch: flip the first element, and drop
+    the last element if nothing was perturbable (a short read is still
+    a wrong answer)."""
+    corrupted = list(outputs)
+    if not corrupted:
+        return corrupted
+    perturbed = _corrupt_value(corrupted[0])
+    if perturbed is not corrupted[0] and perturbed != corrupted[0]:
+        corrupted[0] = perturbed
+        return corrupted
+    return corrupted[:-1]
 
 
 class FaultInjector:
@@ -262,33 +331,79 @@ class FaultInjector:
         for _ in range(count):
             self._check_one(site, targets, device=device, task_id=task_id)
 
+    def _consult(self, index: int, spec: FaultSpec, site: str,
+                 targets: list) -> "InjectedFault | None":
+        """Advance one spec's call counter and decide whether it fires
+        (appending to the log when it does). Caller holds no lock."""
+        with self._lock:
+            call = self._calls.get(index, 0) + 1
+            self._calls[index] = call
+            if spec.on_calls and call not in spec.on_calls:
+                return None
+            if not spec.in_window(call):
+                return None
+            fires = self._fires.get(index, 0)
+            if spec.times is not None and fires >= spec.times:
+                return None
+            if spec.probability < 1.0:
+                if self._rngs[index].random() >= spec.probability:
+                    return None
+            self._fires[index] = fires + 1
+            record = InjectedFault(
+                spec_index=index,
+                site=site,
+                error=spec.error,
+                target=targets[0] if targets else spec.target,
+                call_index=call,
+            )
+            self.log.append(record)
+            return record
+
     def _check_one(self, site: str, targets: list, device=None,
                    task_id=None) -> None:
-        """One logical call: consult every spec in plan order."""
+        """One logical call: consult every spec in plan order.
+
+        ``corrupt`` specs are excluded — they do not raise; they fire
+        through :meth:`transform_outputs`, so their call counters count
+        *completed* device executions, not attempts.
+        """
         for index, spec in enumerate(self.plan.specs):
-            if not spec.matches(site, targets):
+            if spec.error == "corrupt" or not spec.matches(site, targets):
                 continue
-            with self._lock:
-                call = self._calls.get(index, 0) + 1
-                self._calls[index] = call
-                if spec.on_calls and call not in spec.on_calls:
-                    continue
-                fires = self._fires.get(index, 0)
-                if spec.times is not None and fires >= spec.times:
-                    continue
-                if spec.probability < 1.0:
-                    if self._rngs[index].random() >= spec.probability:
-                        continue
-                self._fires[index] = fires + 1
-                record = InjectedFault(
-                    spec_index=index,
-                    site=site,
-                    error=spec.error,
-                    target=targets[0] if targets else spec.target,
-                    call_index=call,
-                )
-                self.log.append(record)
-            self._fire(spec, record, device=device, task_id=task_id)
+            record = self._consult(index, spec, site, targets)
+            if record is not None:
+                self._fire(spec, record, device=device, task_id=task_id)
+
+    def transform_outputs(self, site: str, targets: list, outputs: list,
+                          device=None, task_id=None) -> list:
+        """Apply any firing ``corrupt`` specs to a device's outputs.
+
+        Called by the device executors *after* the kernel produced its
+        results: a wrong-answer device completes normally but returns
+        perturbed values. Nothing raises here — during normal (CLOSED)
+        operation the corruption flows downstream undetected, exactly
+        like a real silent-data-corruption fault; only a shadow probe's
+        element-wise comparison (docs/RESILIENCE.md) catches it.
+        """
+        for index, spec in enumerate(self.plan.specs):
+            if spec.error != "corrupt" or not spec.matches(site, targets):
+                continue
+            record = self._consult(index, spec, site, targets)
+            if record is None:
+                continue
+            counters = self.tracer.counters
+            counters.add("fault.injected[corrupt]")
+            with self.tracer.span(
+                "fault.injected",
+                site=record.site,
+                error="corrupt",
+                target=record.target,
+                call=record.call_index,
+                device=device,
+            ):
+                pass
+            outputs = _corrupt_outputs(outputs)
+        return outputs
 
     def _fire(self, spec: FaultSpec, record: InjectedFault,
               device=None, task_id=None) -> None:
@@ -337,6 +452,10 @@ class _NullInjector:
     def check(self, site, targets, device=None, task_id=None,
               count: int = 1) -> None:
         pass
+
+    def transform_outputs(self, site, targets, outputs, device=None,
+                          task_id=None):
+        return outputs
 
     def fired(self) -> int:
         return 0

@@ -70,6 +70,12 @@ class SequentialScheduler:
                     # No FIFOs in sequential mode: the explicit zero
                     # keeps profile reports uniform across schedulers.
                     span.set(out_items=len(items), queue_wait_us=0.0)
+                    breaker = ctx.health_state(task)
+                    if breaker is not None:
+                        # The breaker's state after the stage drained:
+                        # traces show whether a span finished demoted,
+                        # on probation, or re-promoted.
+                        span.set(breaker_state=breaker)
             except BaseException as exc:
                 # A mid-stage failure must not leave the pipeline
                 # looking "never started": record it so join() surfaces
@@ -160,6 +166,9 @@ class ThreadedScheduler:
                         queue_wait_out_us=wait_out * 1e6,
                         queue_wait_us=(wait_in + wait_out) * 1e6,
                     )
+                    breaker = ctx.health_state(task)
+                    if breaker is not None:
+                        span.set(breaker_state=breaker)
             except BaseException as exc:  # propagate to finish()
                 errors.append((task, exc))
                 # Unblock downstream by closing our output if any.

@@ -18,6 +18,7 @@ spans and counters), never slept on the wall clock.
 from __future__ import annotations
 
 import threading
+import zlib
 from dataclasses import dataclass
 
 from repro.errors import (
@@ -102,6 +103,9 @@ class DemotionRecord:
     attempts: int
     error: str              # class name of the final error
     covered_task_ids: list
+    # Simulated seconds of backoff this call accumulated before giving
+    # up — the health registry charges it to the span's breaker clock.
+    backoff_s: float = 0.0
 
 
 class Supervisor:
@@ -120,10 +124,44 @@ class Supervisor:
         self.policy = policy or RetryPolicy()
         self.tracer = tracer
         self.metrics = getattr(tracer, "metrics", NULL_METRICS)
-        self._rng = _XorShift(self.policy.seed)
         self._lock = threading.Lock()
+        # Per-task-id RNG streams: concurrent device tasks under the
+        # ThreadedScheduler must not interleave draws from one shared
+        # stream, or the backoff sequence depends on thread timing.
+        # Each task id gets its own deterministic stream derived from
+        # the policy seed, so draw order across tasks is irrelevant.
+        self._rngs: dict = {}
+        self._backoff_by_task: dict = {}
         self.demotions: list[DemotionRecord] = []
-        self.total_backoff_s = 0.0
+
+    @property
+    def total_backoff_s(self) -> float:
+        """Accumulated simulated backoff. Summed per task id in sorted
+        key order, so the float total is bit-identical run-to-run no
+        matter how concurrent stage threads interleaved their draws."""
+        per_task = self._backoff_by_task
+        return sum(per_task[task_id] for task_id in sorted(per_task))
+
+    def _draw_backoff(self, task_id: str, attempt: int) -> float:
+        """Draw jitter and accumulate backoff in ONE critical section.
+
+        The draw and the total-backoff accumulation used to sit in two
+        separate lock acquisitions, letting concurrent tasks interleave
+        between them; doing both atomically (against a per-task stream)
+        makes the total independent of scheduling.
+        """
+        with self._lock:
+            rng = self._rngs.get(task_id)
+            if rng is None:
+                stream_seed = self.policy.seed ^ zlib.crc32(
+                    task_id.encode("utf-8")
+                )
+                rng = self._rngs[task_id] = _XorShift(stream_seed)
+            backoff = self.policy.backoff_s(attempt, rng.random())
+            self._backoff_by_task[task_id] = (
+                self._backoff_by_task.get(task_id, 0.0) + backoff
+            )
+        return backoff
 
     def run(self, attempt_fn, *, task_id: str, device: str,
             fallback=None, covered_task_ids=None, on_demote=None):
@@ -138,21 +176,33 @@ class Supervisor:
         counters = self.tracer.counters
         last: "LiquidMetalError | None" = None
         attempts = 0
+        call_backoff_s = 0.0
         while attempts < policy.max_attempts:
             attempts += 1
             try:
-                return attempt_fn()
+                result = attempt_fn()
+                if attempts > 1:
+                    # A recovered task used to be indistinguishable
+                    # from a first-try success in traces; mark it.
+                    counters.add("retry.recovered")
+                    counters.add(f"retry.recovered[{device}]")
+                    with self.tracer.span(
+                        "retry.recovered",
+                        task_id=task_id,
+                        device=device,
+                        attempts=attempts,
+                        backoff_s=call_backoff_s,
+                    ):
+                        pass
+                return result
             except LiquidMetalError as exc:
                 last = exc
                 if not policy.is_retryable(exc):
                     break
                 if attempts >= policy.max_attempts:
                     break
-                with self._lock:
-                    unit = self._rng.random()
-                backoff = policy.backoff_s(attempts, unit)
-                with self._lock:
-                    self.total_backoff_s += backoff
+                backoff = self._draw_backoff(task_id, attempts)
+                call_backoff_s += backoff
                 counters.add("retry.attempt")
                 counters.add(f"retry.attempt[{device}]")
                 self.metrics.histogram("retry.backoff_us").observe(
@@ -182,6 +232,7 @@ class Supervisor:
             attempts=attempts,
             error=type(last).__name__,
             covered_task_ids=list(covered_task_ids or []),
+            backoff_s=call_backoff_s,
         )
         with self._lock:
             self.demotions.append(record)

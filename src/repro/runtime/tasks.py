@@ -51,6 +51,16 @@ class ExecutionContext:
 
         return getattr(self.tracer, "metrics", NULL_METRICS)
 
+    def health_state(self, task) -> "str | None":
+        """The circuit-breaker state for a device task's span, or None
+        for plain bytecode tasks / engines without a health registry —
+        lets the schedulers stamp ``breaker_state`` on stage spans."""
+        key = getattr(task, "artifact_id", None)
+        registry = getattr(self.engine, "health", None)
+        if key is None or registry is None:
+            return None
+        return registry.state_of(task.device, key)
+
 
 class Task:
     kind = "task"
@@ -261,6 +271,9 @@ class DeviceTask(Task):
         batch_size: int = 4096,
     ):
         super().__init__(artifact_id)
+        # Kept under its own name: it is the breaker key the health
+        # registry files this span under (ExecutionContext.health_state).
+        self.artifact_id = artifact_id
         self.device = device
         self.covered_task_ids = list(covered_task_ids)
         self.executor = executor
