@@ -3,9 +3,10 @@
 PYTHON ?= python
 
 .PHONY: test bench bench-smoke examples trace-smoke fault-smoke \
-	profile-smoke health-smoke all clean
+	profile-smoke health-smoke harvest-smoke all clean
 
-test: trace-smoke fault-smoke profile-smoke health-smoke bench-smoke
+test: trace-smoke fault-smoke profile-smoke health-smoke harvest-smoke \
+		bench-smoke
 	$(PYTHON) -m pytest tests/
 
 # The -m "" overrides pyproject's default "not slow" filter so the
@@ -19,7 +20,23 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_marshal_batch.py \
+		benchmarks/test_bench_artifact_cache.py \
 		--benchmark-disable -q
+
+# AOT-harvest the whole app suite into a scratch cache, prove every
+# backend warm-starts (the harvest command exits non-zero otherwise),
+# then integrity-check every stored entry and print the stats summary
+# (docs/CACHING.md).
+harvest-smoke:
+	mkdir -p benchmarks/out
+	rm -rf benchmarks/out/cache_smoke
+	PYTHONPATH=src $(PYTHON) -m repro harvest \
+		--cache-dir benchmarks/out/cache_smoke \
+		-o benchmarks/out/harvest_smoke.json > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro cache verify \
+		--cache-dir benchmarks/out/cache_smoke
+	PYTHONPATH=src $(PYTHON) -m repro cache stats \
+		--cache-dir benchmarks/out/cache_smoke
 
 examples:
 	$(PYTHON) examples/quickstart.py

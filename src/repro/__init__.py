@@ -36,6 +36,9 @@ _LAZY_ATTRS = {
     "RuntimeConfig": ("repro.runtime.engine", "RuntimeConfig"),
     "compile_report": ("repro.compiler", "compile_report"),
     "CompileOptions": ("repro.compiler", "CompileOptions"),
+    "CompilerSession": ("repro.compiler", "CompilerSession"),
+    "CacheOptions": ("repro.backends.artifacts", "CacheOptions"),
+    "ArtifactCache": ("repro.backends.artifacts", "ArtifactCache"),
     "Tracer": ("repro.obs", "Tracer"),
     "NULL_TRACER": ("repro.obs", "NULL_TRACER"),
 }
@@ -54,7 +57,10 @@ def __getattr__(name):
 
 
 __all__ = [
+    "ArtifactCache",
+    "CacheOptions",
     "CompileOptions",
+    "CompilerSession",
     "LiquidMetalError",
     "NULL_TRACER",
     "Runtime",

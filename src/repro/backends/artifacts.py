@@ -1,0 +1,766 @@
+"""Content-addressed, persistent artifact cache.
+
+Section 1 describes artifacts "managed in a repository and identified
+via a unique identifier" — this module is the repository form taken to
+its logical end: a *content-addressed* store in which every backend
+compilation (bytecode assembly, OpenCL codegen, Verilog elaboration +
+synthesis estimation) is keyed by a deterministic digest of
+
+* the task IR in canonical form (:func:`ir_fingerprint`),
+* the backend identifier,
+* the backend-relevant :class:`~repro.compiler.CompileOptions`
+  fingerprint (:func:`options_fingerprint`), and
+* the device-family parameter of :class:`CacheOptions`.
+
+A warm compile (`docs/CACHING.md`) loads the cached artifacts without
+invoking backend codegen at all — the shape metalfpga's
+``.mtl4archive`` pipeline harvesting proved out (seconds of reload vs
+minutes of recompile). Integrity is enforced on load: every payload and
+source text carries a SHA-256 recorded at store time, and any mismatch,
+truncation, or unreadable manifest demotes the entry to a *miss* (never
+a wrong-artifact hit) while a ``cache.corrupt`` counter fires and the
+entry is dropped. Capacity is bounded by LRU-by-bytes eviction with
+explicit pinning.
+
+Time in this reproduction is modeled, and the cache participates in the
+model: each entry records the modeled cost of the backend compilation
+it replaces (:func:`modeled_compile_s`) and loads are charged a modeled
+deserialization cost (:func:`modeled_load_s`), so
+``benchmarks/test_bench_artifact_cache.py`` can state the warm-vs-cold
+compile-path speedup on the same simulated clock the runtime uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import shutil
+
+from repro.backends.common import Artifact, Exclusion, Manifest
+from repro.errors import ConfigurationError
+from repro.obs.tracer import NULL_TRACER
+
+#: Manifest schema tag; bump when the on-disk layout changes. Entries
+#: with any other tag are treated as misses (forward/backward safe).
+ARTIFACT_SCHEMA = "repro.artifact/1"
+
+_MANIFEST_NAME = "manifest.json"
+_LRU_NAME = "lru.json"
+_OBJECTS_DIR = "objects"
+_SOURCE_EXT = {"opencl": ".cl", "verilog": ".v", "java-bytecode": ".class.txt"}
+
+_CACHE_MODES = ("off", "read", "readwrite")
+
+
+# ---------------------------------------------------------------------------
+# Options
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheOptions:
+    """Validated cache sub-options block of ``CompileOptions``.
+
+    ``mode`` is ``off`` (default: no cache I/O at all), ``read`` (warm
+    starts allowed, misses are *not* written back — e.g. CI consuming a
+    harvested cache read-only), or ``readwrite`` (misses populate the
+    cache). ``max_bytes`` bounds the payload bytes kept on disk; LRU
+    entries are evicted past it, pinned entries never. ``device_family``
+    partitions keys across simulated hardware generations so one cache
+    directory can serve several device descriptions.
+    """
+
+    cache_dir: "str | None" = None
+    max_bytes: "int | None" = None
+    mode: str = "off"
+    device_family: str = "default"
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> "CacheOptions":
+        if self.mode not in _CACHE_MODES:
+            raise ConfigurationError(
+                f"unknown cache mode {self.mode!r}; expected one of "
+                + ", ".join(_CACHE_MODES)
+            )
+        if self.mode != "off" and not self.cache_dir:
+            raise ConfigurationError(
+                f"cache mode {self.mode!r} requires cache_dir"
+            )
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ConfigurationError(
+                f"cache max_bytes must be positive, got {self.max_bytes}"
+            )
+        if not self.device_family:
+            raise ConfigurationError("device_family must be non-empty")
+        return self
+
+    def replace(self, **overrides) -> "CacheOptions":
+        """A validated copy with the given fields changed."""
+        return dataclasses.replace(self, **overrides)
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    @property
+    def readable(self) -> bool:
+        return self.mode in ("read", "readwrite")
+
+    @property
+    def writable(self) -> bool:
+        return self.mode == "readwrite"
+
+
+# ---------------------------------------------------------------------------
+# Canonical fingerprints and key derivation
+# ---------------------------------------------------------------------------
+
+#: Fields skipped during canonicalization: source positions don't
+#: change semantics (whitespace edits must still hit), and ``checked``
+#: is the CheckedProgram backref whose facts are already reflected in
+#: the lowered IR.
+_SKIP_FIELDS = ("position", "checked")
+
+
+def _canonicalize(obj, out: list, stack: set) -> None:
+    """Append a deterministic rendering of ``obj`` to ``out``."""
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        out.append(repr(obj))
+        return
+    key = id(obj)
+    if key in stack:  # cycle: identity marker, not infinite recursion
+        out.append("<cycle>")
+        return
+    stack.add(key)
+    try:
+        if isinstance(obj, (list, tuple)):
+            out.append("[")
+            for item in obj:
+                _canonicalize(item, out, stack)
+                out.append(",")
+            out.append("]")
+        elif isinstance(obj, (set, frozenset)):
+            # Iteration order is hash-seed dependent; render elements
+            # individually and sort the renderings for stable digests.
+            parts = []
+            for item in obj:
+                sub: list = []
+                _canonicalize(item, sub, stack)
+                parts.append("".join(sub))
+            out.append("{" + ",".join(sorted(parts)) + "}")
+        elif isinstance(obj, dict):
+            out.append("{")
+            for k in sorted(obj, key=repr):
+                out.append(f"{k!r}:")
+                _canonicalize(obj[k], out, stack)
+                out.append(",")
+            out.append("}")
+        elif dataclasses.is_dataclass(obj):
+            out.append(type(obj).__name__)
+            out.append("(")
+            for f in dataclasses.fields(obj):
+                if f.name in _SKIP_FIELDS:
+                    continue
+                out.append(f"{f.name}=")
+                _canonicalize(getattr(obj, f.name), out, stack)
+                out.append(",")
+            out.append(")")
+        else:
+            # Non-dataclass leaves (semantic types, enum descriptors)
+            # all define content-bearing reprs.
+            out.append(f"<{type(obj).__name__}:{obj!r}>")
+    finally:
+        stack.discard(key)
+
+
+def canonical_fingerprint(obj) -> str:
+    """SHA-256 of the canonical structural rendering of ``obj``."""
+    out: list = []
+    _canonicalize(obj, out, set())
+    return hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
+
+
+def ir_fingerprint(module) -> str:
+    """Canonical digest of an :class:`repro.ir.nodes.IRModule`.
+
+    Walks functions (sorted by qualified name), classes, and task
+    graphs; ignores source positions and the CheckedProgram backref, so
+    formatting-only edits still hit while any semantic change — or an
+    optimization-pipeline change that alters the lowered IR — misses.
+    """
+    out: list = []
+    stack: set = set()
+    out.append("functions{")
+    for name in sorted(module.functions):
+        out.append(f"{name}=")
+        _canonicalize(module.functions[name], out, stack)
+    out.append("}classes{")
+    for name in sorted(module.classes):
+        out.append(f"{name}=")
+        _canonicalize(module.classes[name], out, stack)
+    out.append("}graphs{")
+    for graph in module.task_graphs:
+        _canonicalize(graph, out, stack)
+    out.append("}")
+    return hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
+
+
+#: CompileOptions fields that affect each backend's output. Keys only
+#: include what the backend actually reads, so toggling an FPGA knob
+#: invalidates Verilog entries without touching OpenCL ones.
+_BACKEND_OPTION_FIELDS = {
+    "bytecode": ("run_optimizations",),
+    "opencl": ("run_optimizations",),
+    "verilog": (
+        "run_optimizations",
+        "fpga_pipelined",
+        "fpga_max_stage_depth",
+    ),
+}
+
+BACKEND_IDS = tuple(_BACKEND_OPTION_FIELDS)
+
+
+def options_fingerprint(options, backend_id: str) -> dict:
+    """The backend-relevant slice of a CompileOptions, as a stable dict."""
+    fields = _BACKEND_OPTION_FIELDS.get(backend_id)
+    if fields is None:
+        raise ConfigurationError(f"unknown backend id {backend_id!r}")
+    return {name: getattr(options, name) for name in fields}
+
+
+def cache_key(module, backend_id: str, options, device_family: str = "default") -> str:
+    """The content-addressed digest for one backend compilation."""
+    material = {
+        "schema": ARTIFACT_SCHEMA,
+        "backend": backend_id,
+        "ir": ir_fingerprint(module),
+        "options": options_fingerprint(options, backend_id),
+        "device_family": device_family,
+    }
+    blob = json.dumps(material, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Modeled compile/load clock
+# ---------------------------------------------------------------------------
+
+#: Modeled compile cost per backend: (base seconds per compilation,
+#: seconds per artifact, seconds per character of generated source).
+#: Calibrated to the systems the cache imitates: bytecode assembly is
+#: sub-millisecond, an OpenCL driver JIT is tens of milliseconds, and
+#: Verilog elaboration + synthesis estimation models the minutes-scale
+#: FPGA flow that makes harvesting worthwhile (SNIPPETS Snippet 1:
+#: ~5 s archive reload vs 5-10 minutes of recompile).
+_MODELED_COMPILE = {
+    "bytecode": (400e-6, 50e-6, 0.0),
+    "opencl": (8e-3, 15e-3, 4e-6),
+    "verilog": (120e-3, 1.8, 90e-6),
+}
+
+#: Modeled warm-load cost: fixed open/validate latency per entry plus
+#: payload bytes through a 256 MiB/s deserialization pipe.
+_MODELED_LOAD_BASE_S = 400e-6
+_MODELED_LOAD_BYTES_PER_S = 256 * 1024 * 1024
+
+
+def modeled_compile_s(backend_id: str, artifacts: list) -> float:
+    """Modeled seconds the backend compilation costs (cold path)."""
+    base, per_artifact, per_char = _MODELED_COMPILE.get(
+        backend_id, _MODELED_COMPILE["bytecode"]
+    )
+    total = base
+    for artifact in artifacts:
+        total += per_artifact
+        total += per_char * len(artifact.text or "")
+    return total
+
+
+def modeled_load_s(payload_bytes: int) -> float:
+    """Modeled seconds a warm load of ``payload_bytes`` costs."""
+    return _MODELED_LOAD_BASE_S + payload_bytes / _MODELED_LOAD_BYTES_PER_S
+
+
+# ---------------------------------------------------------------------------
+# Cache entries
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    """One loaded (or just-stored) backend compilation."""
+
+    backend: str
+    key: str
+    artifacts: list
+    exclusions: list
+    modeled_compile_s: float
+    payload_bytes: int
+
+    @property
+    def modeled_load_s(self) -> float:
+        return modeled_load_s(self.payload_bytes)
+
+
+class CacheCorruption(Exception):
+    """Internal: an entry failed an integrity check during load."""
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """The persistent content-addressed store (docs/CACHING.md).
+
+    Directory layout::
+
+        <cache_dir>/
+          lru.json                    # logical clock, ticks, pins
+          objects/<digest>/manifest.json
+          objects/<digest>/payload.<i>.pkl
+          objects/<digest>/source.<i>.cl|.v|...
+
+    One entry holds *everything one backend produced for one key*:
+    artifacts (manifest metadata + pickled payloads + generated source
+    text) and exclusions. The cache is single-writer per process — the
+    same assumption the on-disk repository makes.
+    """
+
+    def __init__(self, options: CacheOptions):
+        if not options.enabled:
+            raise ConfigurationError(
+                "ArtifactCache requires CacheOptions with mode != 'off'"
+            )
+        self.options = options.validate()
+        self.root = options.cache_dir
+        os.makedirs(self._objects_root(), exist_ok=True)
+
+    # -- paths ----------------------------------------------------------
+
+    def _objects_root(self) -> str:
+        return os.path.join(self.root, _OBJECTS_DIR)
+
+    def _entry_dir(self, key: str) -> str:
+        return os.path.join(self._objects_root(), key)
+
+    def _lru_path(self) -> str:
+        return os.path.join(self.root, _LRU_NAME)
+
+    # -- LRU state ------------------------------------------------------
+
+    def _read_lru(self) -> dict:
+        try:
+            with open(self._lru_path()) as f:
+                state = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            state = {}
+        state.setdefault("tick", 0)
+        state.setdefault("entries", {})
+        state.setdefault("pins", [])
+        return state
+
+    def _write_lru(self, state: dict) -> None:
+        tmp = self._lru_path() + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(state, f, indent=2, sort_keys=True)
+        os.replace(tmp, self._lru_path())
+
+    def _touch(self, key: str) -> None:
+        state = self._read_lru()
+        state["tick"] += 1
+        state["entries"][key] = state["tick"]
+        self._write_lru(state)
+
+    def _forget(self, key: str) -> None:
+        state = self._read_lru()
+        state["entries"].pop(key, None)
+        if key in state["pins"]:
+            state["pins"].remove(key)
+        self._write_lru(state)
+
+    # -- pinning --------------------------------------------------------
+
+    def pin(self, key: str) -> None:
+        """Exempt an entry from LRU eviction."""
+        state = self._read_lru()
+        if key not in state["pins"]:
+            state["pins"].append(key)
+        self._write_lru(state)
+
+    def unpin(self, key: str) -> None:
+        state = self._read_lru()
+        if key in state["pins"]:
+            state["pins"].remove(key)
+        self._write_lru(state)
+
+    def pinned(self) -> list:
+        return list(self._read_lru()["pins"])
+
+    # -- inspection -----------------------------------------------------
+
+    def keys(self) -> list:
+        """Digests of every entry present on disk, sorted."""
+        root = self._objects_root()
+        if not os.path.isdir(root):
+            return []
+        return sorted(
+            name
+            for name in os.listdir(root)
+            if os.path.isfile(os.path.join(root, name, _MANIFEST_NAME))
+        )
+
+    def entry_bytes(self, key: str) -> int:
+        """Total payload + text bytes of one entry."""
+        entry_dir = self._entry_dir(key)
+        total = 0
+        for name in os.listdir(entry_dir):
+            if name != _MANIFEST_NAME:
+                total += os.path.getsize(os.path.join(entry_dir, name))
+        return total
+
+    def total_bytes(self) -> int:
+        return sum(self.entry_bytes(key) for key in self.keys())
+
+    def stats(self) -> dict:
+        """Machine-readable summary for ``python -m repro cache stats``."""
+        state = self._read_lru()
+        per_backend: dict = {}
+        entries = []
+        for key in self.keys():
+            try:
+                with open(
+                    os.path.join(self._entry_dir(key), _MANIFEST_NAME)
+                ) as f:
+                    manifest = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                manifest = {}
+            backend = manifest.get("backend", "<corrupt>")
+            per_backend.setdefault(
+                backend, {"entries": 0, "bytes": 0, "artifacts": 0}
+            )
+            nbytes = self.entry_bytes(key)
+            per_backend[backend]["entries"] += 1
+            per_backend[backend]["bytes"] += nbytes
+            per_backend[backend]["artifacts"] += len(
+                manifest.get("artifacts", ())
+            )
+            entries.append(
+                {
+                    "key": key,
+                    "backend": backend,
+                    "bytes": nbytes,
+                    "artifacts": len(manifest.get("artifacts", ())),
+                    "modeled_compile_s": manifest.get(
+                        "modeled_compile_s", 0.0
+                    ),
+                    "pinned": key in state["pins"],
+                    "last_used_tick": state["entries"].get(key),
+                }
+            )
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "cache_dir": self.root,
+            "mode": self.options.mode,
+            "device_family": self.options.device_family,
+            "max_bytes": self.options.max_bytes,
+            "total_bytes": sum(e["bytes"] for e in entries),
+            "entry_count": len(entries),
+            "pinned": list(state["pins"]),
+            "backends": per_backend,
+            "entries": entries,
+        }
+
+    # -- store ----------------------------------------------------------
+
+    def store(
+        self,
+        backend_id: str,
+        key: str,
+        artifacts: list,
+        exclusions: list,
+        tracer=NULL_TRACER,
+    ) -> CacheEntry:
+        """Persist one backend compilation under ``key``.
+
+        Payload files are written first and the manifest last (via an
+        atomic rename), so a crash mid-store leaves a manifest-less
+        directory the loader treats as a miss.
+        """
+        if not self.options.writable:
+            raise ConfigurationError(
+                f"cache at {self.root!r} is read-only "
+                f"(mode={self.options.mode!r}); store() requires "
+                "mode='readwrite'"
+            )
+        entry_dir = self._entry_dir(key)
+        if os.path.isdir(entry_dir):
+            shutil.rmtree(entry_dir)
+        os.makedirs(entry_dir)
+        counters = tracer.counters
+        manifest = {
+            "schema": ARTIFACT_SCHEMA,
+            "backend": backend_id,
+            "key": key,
+            "device_family": self.options.device_family,
+            "modeled_compile_s": modeled_compile_s(backend_id, artifacts),
+            "artifacts": [],
+            "exclusions": [
+                {
+                    "device": e.device,
+                    "task_id": e.task_id,
+                    "reason": e.reason,
+                }
+                for e in exclusions
+            ],
+        }
+        payload_bytes = 0
+        for i, artifact in enumerate(artifacts):
+            m = artifact.manifest
+            blob = pickle.dumps(artifact.payload, protocol=4)
+            payload_file = f"payload.{i}.pkl"
+            with open(os.path.join(entry_dir, payload_file), "wb") as f:
+                f.write(blob)
+            record = {
+                "artifact_id": m.artifact_id,
+                "device": m.device,
+                "task_ids": list(m.task_ids),
+                "graph_id": m.graph_id,
+                "source_language": m.source_language,
+                "properties": dict(m.properties),
+                "payload_file": payload_file,
+                "payload_bytes": len(blob),
+                "payload_sha256": hashlib.sha256(blob).hexdigest(),
+            }
+            payload_bytes += len(blob)
+            if artifact.text:
+                ext = _SOURCE_EXT.get(m.source_language, ".txt")
+                text_file = f"source.{i}{ext}"
+                data = artifact.text.encode("utf-8")
+                with open(os.path.join(entry_dir, text_file), "wb") as f:
+                    f.write(data)
+                record["text_file"] = text_file
+                record["text_sha256"] = hashlib.sha256(data).hexdigest()
+                payload_bytes += len(data)
+            manifest["artifacts"].append(record)
+        manifest["payload_bytes"] = payload_bytes
+        tmp = os.path.join(entry_dir, _MANIFEST_NAME + ".tmp")
+        with open(tmp, "w") as f:
+            json.dump(manifest, f, indent=2, sort_keys=True, default=str)
+        os.replace(tmp, os.path.join(entry_dir, _MANIFEST_NAME))
+        self._touch(key)
+        counters.add("cache.store")
+        counters.add("cache.bytes", payload_bytes)
+        counters.add("cache.bytes.written", payload_bytes)
+        self._evict_to_fit(keep=key, tracer=tracer)
+        return CacheEntry(
+            backend=backend_id,
+            key=key,
+            artifacts=list(artifacts),
+            exclusions=list(exclusions),
+            modeled_compile_s=manifest["modeled_compile_s"],
+            payload_bytes=payload_bytes,
+        )
+
+    # -- load -----------------------------------------------------------
+
+    def load(self, backend_id: str, key: str, tracer=NULL_TRACER):
+        """Load the entry for ``key``, or None on miss/corruption.
+
+        Every payload and text hash recorded at store time is verified;
+        any failure counts ``cache.corrupt``, drops the entry, and
+        reports a miss — a wrong-artifact hit is never possible.
+        """
+        counters = tracer.counters
+        entry_dir = self._entry_dir(key)
+        manifest_path = os.path.join(entry_dir, _MANIFEST_NAME)
+        if not os.path.isfile(manifest_path):
+            counters.add("cache.miss")
+            counters.add(f"cache.miss[{backend_id}]")
+            return None
+        with tracer.span(
+            "cache.load", backend=backend_id, key=key[:12]
+        ) as span:
+            try:
+                entry = self._load_verified(backend_id, key, entry_dir)
+            except CacheCorruption as problem:
+                counters.add("cache.corrupt")
+                counters.add("cache.miss")
+                counters.add(f"cache.miss[{backend_id}]")
+                span.set(state="corrupt", problem=str(problem))
+                shutil.rmtree(entry_dir, ignore_errors=True)
+                self._forget(key)
+                return None
+            span.set(
+                state="hit",
+                artifacts=len(entry.artifacts),
+                bytes=entry.payload_bytes,
+                load_us=entry.modeled_load_s * 1e6,
+            )
+        counters.add("cache.hit")
+        counters.add(f"cache.hit[{backend_id}]")
+        counters.add("cache.bytes", entry.payload_bytes)
+        counters.add("cache.bytes.read", entry.payload_bytes)
+        self._touch(key)
+        return entry
+
+    def _load_verified(
+        self, backend_id: str, key: str, entry_dir: str
+    ) -> CacheEntry:
+        manifest_path = os.path.join(entry_dir, _MANIFEST_NAME)
+        try:
+            with open(manifest_path) as f:
+                manifest = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CacheCorruption(f"unreadable manifest: {exc}") from exc
+        if manifest.get("schema") != ARTIFACT_SCHEMA:
+            raise CacheCorruption(
+                f"schema {manifest.get('schema')!r} != {ARTIFACT_SCHEMA!r}"
+            )
+        if manifest.get("backend") != backend_id:
+            raise CacheCorruption(
+                f"entry belongs to backend {manifest.get('backend')!r}"
+            )
+        artifacts = []
+        payload_bytes = 0
+        for record in manifest.get("artifacts", ()):
+            payload_path = os.path.join(entry_dir, record["payload_file"])
+            if not os.path.isfile(payload_path):
+                raise CacheCorruption(
+                    f"missing payload {record['payload_file']}"
+                )
+            size = os.path.getsize(payload_path)
+            if size != record["payload_bytes"]:
+                raise CacheCorruption(
+                    f"payload {record['payload_file']} truncated: "
+                    f"{size} != {record['payload_bytes']} bytes"
+                )
+            if _sha256_file(payload_path) != record["payload_sha256"]:
+                raise CacheCorruption(
+                    f"payload {record['payload_file']} hash mismatch"
+                )
+            with open(payload_path, "rb") as f:
+                payload = pickle.load(f)
+            payload_bytes += size
+            text = ""
+            if "text_file" in record:
+                text_path = os.path.join(entry_dir, record["text_file"])
+                if not os.path.isfile(text_path):
+                    raise CacheCorruption(
+                        f"missing source {record['text_file']}"
+                    )
+                with open(text_path, "rb") as f:
+                    data = f.read()
+                if hashlib.sha256(data).hexdigest() != record["text_sha256"]:
+                    raise CacheCorruption(
+                        f"source {record['text_file']} hash mismatch"
+                    )
+                text = data.decode("utf-8")
+                payload_bytes += len(data)
+            artifacts.append(
+                Artifact(
+                    manifest=Manifest(
+                        artifact_id=record["artifact_id"],
+                        device=record["device"],
+                        task_ids=list(record["task_ids"]),
+                        graph_id=record.get("graph_id"),
+                        source_language=record.get("source_language", ""),
+                        properties=dict(record.get("properties", {})),
+                    ),
+                    payload=payload,
+                    text=text,
+                )
+            )
+        exclusions = [
+            Exclusion(e["device"], e["task_id"], e["reason"])
+            for e in manifest.get("exclusions", ())
+        ]
+        return CacheEntry(
+            backend=backend_id,
+            key=key,
+            artifacts=artifacts,
+            exclusions=exclusions,
+            modeled_compile_s=manifest.get("modeled_compile_s", 0.0),
+            payload_bytes=payload_bytes,
+        )
+
+    # -- eviction / maintenance -----------------------------------------
+
+    def _evict_to_fit(self, keep: "str | None" = None, tracer=NULL_TRACER):
+        """LRU-by-bytes eviction down to ``max_bytes``; pinned entries
+        and the just-touched ``keep`` entry are never dropped."""
+        limit = self.options.max_bytes
+        if limit is None:
+            return
+        state = self._read_lru()
+        pins = set(state["pins"])
+        sizes = {key: self.entry_bytes(key) for key in self.keys()}
+        total = sum(sizes.values())
+        if total <= limit:
+            return
+        in_lru_order = sorted(
+            sizes, key=lambda k: state["entries"].get(k, 0)
+        )
+        for key in in_lru_order:
+            if total <= limit:
+                break
+            if key in pins or key == keep:
+                continue
+            self.evict(key, tracer=tracer)
+            total -= sizes[key]
+
+    def evict(self, key: str, tracer=NULL_TRACER) -> bool:
+        """Drop one entry; returns False when it did not exist."""
+        entry_dir = self._entry_dir(key)
+        if not os.path.isdir(entry_dir):
+            return False
+        shutil.rmtree(entry_dir, ignore_errors=True)
+        self._forget(key)
+        tracer.counters.add("cache.evict")
+        return True
+
+    def purge(self) -> int:
+        """Drop every entry (pins included); returns the count dropped."""
+        count = 0
+        for key in self.keys():
+            shutil.rmtree(self._entry_dir(key), ignore_errors=True)
+            count += 1
+        self._write_lru({"tick": 0, "entries": {}, "pins": []})
+        return count
+
+    def verify(self, delete_corrupt: bool = False) -> list:
+        """Integrity-check every entry; returns ``(key, problem)``
+        pairs. ``delete_corrupt=True`` additionally drops the failing
+        entries so the next compile repopulates them."""
+        problems = []
+        for key in self.keys():
+            entry_dir = self._entry_dir(key)
+            try:
+                with open(
+                    os.path.join(entry_dir, _MANIFEST_NAME)
+                ) as f:
+                    backend = json.load(f).get("backend", "")
+            except (OSError, json.JSONDecodeError) as exc:
+                problems.append((key, f"unreadable manifest: {exc}"))
+                if delete_corrupt:
+                    shutil.rmtree(entry_dir, ignore_errors=True)
+                    self._forget(key)
+                continue
+            try:
+                self._load_verified(backend, key, entry_dir)
+            except CacheCorruption as problem:
+                problems.append((key, str(problem)))
+                if delete_corrupt:
+                    shutil.rmtree(entry_dir, ignore_errors=True)
+                    self._forget(key)
+        return problems

@@ -97,6 +97,11 @@ class ArtifactStore:
         self._artifacts: list[Artifact] = []
         self._by_task: dict[str, list[Artifact]] = {}
         self.exclusions: list[Exclusion] = []
+        #: Where the artifacts came from: ``cold`` (freshly compiled),
+        #: ``warm`` (every enabled backend loaded from the artifact
+        #: cache), ``mixed``, or None for hand-built stores. The
+        #: schedulers stamp this on stage spans (docs/CACHING.md).
+        self.provenance: "str | None" = None
 
     def add(self, artifact: Artifact) -> None:
         self._artifacts.append(artifact)

@@ -13,6 +13,7 @@ directly.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -25,11 +26,22 @@ _SOURCE_EXT = {"opencl": ".cl", "verilog": ".v", "java-bytecode": ".class.txt"}
 
 
 def _slug(artifact_id: str) -> str:
-    """Filesystem-safe name for an artifact id."""
+    """Filesystem-safe name for an artifact id.
+
+    Sanitization alone is lossy — ``graph:a.b`` and ``graph_a.b`` both
+    sanitize to ``graph_a.b`` and would silently overwrite each other's
+    files — so ids that needed any substitution carry a short digest of
+    the *raw* id to keep distinct ids on distinct files. (Loading is
+    unaffected either way: the index records every filename.)
+    """
     out = []
     for ch in artifact_id:
         out.append(ch if ch.isalnum() or ch in "._-" else "_")
-    return "".join(out)
+    sanitized = "".join(out)
+    if sanitized == artifact_id:
+        return sanitized
+    digest = hashlib.sha256(artifact_id.encode("utf-8")).hexdigest()[:8]
+    return f"{sanitized}-{digest}"
 
 
 def save_repository(store: ArtifactStore, directory: str) -> str:

@@ -7,6 +7,8 @@ Subcommands::
     python -m repro run      prog.lime C.m 1 2.5  # execute an entry point
     python -m repro trace    mandelbrot           # traced run -> Chrome JSON
     python -m repro profile  mandelbrot           # utilization + critical path
+    python -m repro harvest  --cache-dir d/       # AOT-populate the cache
+    python -m repro cache    stats --cache-dir d/ # cache maintenance
     python -m repro markers  prog.lime            # IDE-style marker view
     python -m repro graphs   prog.lime            # discovered task graphs
     python -m repro disas    prog.lime            # bytecode disassembly
@@ -15,6 +17,15 @@ Subcommands::
     python -m repro emit-testbench prog.lime      # self-checking Verilog TB
     python -m repro format   prog.lime            # pretty-print/normalize
     python -m repro build    prog.lime -o out/    # on-disk artifact repo
+
+Every compiling command accepts the artifact-cache flags uniformly
+(docs/CACHING.md): ``--cache-dir DIR`` warm-starts backend compilation
+from the content-addressed cache (``readwrite`` by default;
+``--cache-mode read`` consumes without writing back), ``--no-cache``
+disables cache I/O even when a directory is given, and
+``--cache-max-bytes`` bounds the on-disk size (LRU eviction).
+``harvest`` pre-populates a cache for the whole app suite; ``cache
+{stats,purge,verify}`` inspect and maintain one.
 
 ``trace`` accepts either a suite app name (see ``repro.apps.SUITE``)
 or a Lime file plus ``--entry``; it compiles and runs under a live
@@ -32,7 +43,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.compiler import CompileOptions, compile_program, compile_report
+from repro.backends.artifacts import CacheOptions
+from repro.compiler import (
+    CompileOptions,
+    CompilerSession,
+    compile_program,
+    compile_report,
+)
 from repro.errors import LiquidMetalError
 
 
@@ -75,21 +92,42 @@ def _parse_value(text: str):
     raise SystemExit(f"cannot parse argument {text!r}")
 
 
+def _cache_options(args) -> "CacheOptions | None":
+    """The cache sub-options a command's flags describe, or None when
+    caching stays off. Uses getattr defaults so commands that predate
+    the flags keep working unchanged."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "no_cache", False) or not cache_dir:
+        return None
+    return CacheOptions(
+        cache_dir=cache_dir,
+        mode=getattr(args, "cache_mode", None) or "readwrite",
+        max_bytes=getattr(args, "cache_max_bytes", None),
+    )
+
+
 def _options(args, tracer=None) -> CompileOptions:
     options = CompileOptions(
         enable_gpu=not args.no_gpu,
         enable_fpga=not args.no_fpga,
         fpga_pipelined=args.fpga_pipelined,
     )
+    cache = _cache_options(args)
+    if cache is not None:
+        options = options.replace(cache=cache)
     if tracer is not None:
         options = options.replace(tracer=tracer)
     return options
 
 
+def _session(args, tracer=None) -> CompilerSession:
+    return CompilerSession(_options(args, tracer=tracer))
+
+
 def _compiled(args):
     with open(args.file) as f:
         source = f.read()
-    return compile_program(source, filename=args.file, options=_options(args))
+    return _session(args).compile(source, filename=args.file)
 
 
 def _cmd_compile(args) -> int:
@@ -183,8 +221,7 @@ def _cmd_trace(args) -> int:
     if resolved is None:
         return 2
     source, filename, name, entry, values = resolved
-    options = _options(args, tracer=tracer)
-    compiled = compile_program(source, filename=filename, options=options)
+    compiled = _session(args, tracer=tracer).compile(source, filename=filename)
     policy = SubstitutionPolicy(use_accelerators=not args.cpu_only)
     config = RuntimeConfig(
         policy=policy,
@@ -248,8 +285,7 @@ def _cmd_profile(args) -> int:
     if resolved is None:
         return 2
     source, filename, name, entry, values = resolved
-    options = _options(args, tracer=tracer)
-    compiled = compile_program(source, filename=filename, options=options)
+    compiled = _session(args, tracer=tracer).compile(source, filename=filename)
     policy = SubstitutionPolicy(use_accelerators=not args.cpu_only)
     config = RuntimeConfig(
         policy=policy,
@@ -337,9 +373,7 @@ def _cmd_faults(args) -> int:
     if args.seed is not None:
         plan = FaultPlan(plan.specs, seed=args.seed)
 
-    compiled = compile_program(
-        source, filename=filename, options=_options(args)
-    )
+    compiled = _session(args).compile(source, filename=filename)
 
     # Reference: accelerators disabled — the pure-bytecode answer the
     # degraded run must reproduce exactly.
@@ -445,9 +479,7 @@ def _cmd_health(args) -> int:
     if plan is not None and args.seed is not None:
         plan = FaultPlan(plan.specs, seed=args.seed)
 
-    compiled = compile_program(
-        source, filename=filename, options=_options(args)
-    )
+    compiled = _session(args).compile(source, filename=filename)
 
     # Reference: accelerators disabled — the answer the health-mediated
     # run must reproduce exactly (probes keep bytecode authoritative).
@@ -624,6 +656,112 @@ def _emit(args, device: str) -> int:
     return 0
 
 
+def _cmd_harvest(args) -> int:
+    """AOT-populate an artifact cache for the app suite (docs/CACHING.md)."""
+    import json
+
+    if _cache_options(args) is None:
+        print("error: harvest requires --cache-dir", file=sys.stderr)
+        return 2
+    session = _session(args)
+    report = session.harvest(
+        apps=args.apps or None,
+        verify=not args.no_verify,
+        pin=args.pin,
+    )
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"harvested {len(report['apps'])} apps into {report['cache_dir']}")
+        header = f"{'app':<22} {'states':<22} {'bytes':>10}"
+        if not args.no_verify:
+            header += f" {'warm':>5}"
+        print(header)
+        for name, record in sorted(report["apps"].items()):
+            states = ",".join(
+                f"{backend}:{info['state']}"
+                for backend, info in sorted(record["backends"].items())
+            )
+            line = f"{name:<22} {states:<22} {record['payload_bytes']:>10}"
+            if not args.no_verify:
+                line += f" {'yes' if record.get('warm') else 'NO':>5}"
+            print(line)
+        totals = report["totals"]
+        print(
+            f"totals: {totals['payload_bytes']} payload bytes, modeled "
+            f"cold {totals['modeled_cold_s'] * 1e3:.2f} ms"
+            + (
+                f", warm {totals['modeled_warm_s'] * 1e3:.2f} ms "
+                f"({totals.get('modeled_speedup', 0.0):.0f}x)"
+                if not args.no_verify
+                else ""
+            )
+        )
+    if not args.no_verify and not report["totals"]["all_warm"]:
+        print("error: harvest verify found non-warm apps", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _maintenance_cache(args, mode: str):
+    from repro.backends.artifacts import ArtifactCache
+
+    return ArtifactCache(CacheOptions(cache_dir=args.cache_dir, mode=mode))
+
+
+def _cmd_cache_stats(args) -> int:
+    import json
+
+    stats = _maintenance_cache(args, "read").stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"cache: {stats['cache_dir']} ({stats['schema']})")
+    print(
+        f"  entries: {stats['entry_count']}  total bytes: "
+        f"{stats['total_bytes']}  pinned: {len(stats['pinned'])}"
+        + (
+            f"  max bytes: {stats['max_bytes']}"
+            if stats["max_bytes"] is not None
+            else ""
+        )
+    )
+    for backend, row in sorted(stats["backends"].items()):
+        print(
+            f"  {backend:<10} {row['entries']:>4} entries  "
+            f"{row['artifacts']:>4} artifacts  {row['bytes']:>10} bytes"
+        )
+    return 0
+
+
+def _cmd_cache_purge(args) -> int:
+    count = _maintenance_cache(args, "readwrite").purge()
+    print(f"purged {count} entries from {args.cache_dir}")
+    return 0
+
+
+def _cmd_cache_verify(args) -> int:
+    problems = _maintenance_cache(args, "readwrite").verify(
+        delete_corrupt=args.delete_corrupt
+    )
+    if not problems:
+        print("cache verify: all entries intact")
+        return 0
+    for key, problem in problems:
+        print(f"corrupt {key}: {problem}", file=sys.stderr)
+    if args.delete_corrupt:
+        print(
+            f"deleted {len(problems)} corrupt entries "
+            "(next compile repopulates them)",
+            file=sys.stderr,
+        )
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -631,11 +769,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def cache_flags(p):
+        p.add_argument(
+            "--cache-dir",
+            help="content-addressed artifact cache directory; warm-starts "
+            "backend compilation (docs/CACHING.md)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="ignore --cache-dir and compile cold",
+        )
+        p.add_argument(
+            "--cache-mode",
+            choices=("read", "readwrite"),
+            default=None,
+            help="read = consume hits without writing misses back "
+            "(default: readwrite)",
+        )
+        p.add_argument(
+            "--cache-max-bytes",
+            type=int,
+            default=None,
+            help="LRU-evict unpinned entries beyond this payload size",
+        )
+
     def common(p):
         p.add_argument("file", help="Lime source file")
         p.add_argument("--no-gpu", action="store_true")
         p.add_argument("--no-fpga", action="store_true")
         p.add_argument("--fpga-pipelined", action="store_true")
+        cache_flags(p)
 
     def batch_size_option(p):
         p.add_argument(
@@ -698,6 +862,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the span tree to stdout as well",
     )
+    cache_flags(p)
     batch_size_option(p)
     p.set_defaults(fn=_cmd_trace)
 
@@ -746,6 +911,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.10,
         help="regression threshold for --baseline (default 0.10 = 10%%)",
     )
+    cache_flags(p)
     batch_size_option(p)
     p.set_defaults(fn=_cmd_profile)
 
@@ -791,6 +957,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="fail unless at least this many demotions were recorded",
     )
+    cache_flags(p)
     batch_size_option(p)
     p.set_defaults(fn=_cmd_faults)
 
@@ -887,8 +1054,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         help="also write the JSON report to this path",
     )
+    cache_flags(p)
     batch_size_option(p)
     p.set_defaults(fn=_cmd_health)
+
+    p = sub.add_parser(
+        "harvest",
+        help="AOT-compile the app suite into an artifact cache and "
+        "verify warm starts (docs/CACHING.md)",
+    )
+    p.add_argument(
+        "apps",
+        nargs="*",
+        help="suite app names (default: every app in repro.apps.SUITE)",
+    )
+    p.add_argument("--no-gpu", action="store_true")
+    p.add_argument("--no-fpga", action="store_true")
+    p.add_argument("--fpga-pipelined", action="store_true")
+    cache_flags(p)
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the second compile pass that proves warm starts",
+    )
+    p.add_argument(
+        "--pin",
+        action="store_true",
+        help="pin every harvested entry against LRU eviction",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable repro.harvest/1 report",
+    )
+    p.add_argument("-o", "--out", help="also write the JSON report here")
+    p.set_defaults(fn=_cmd_harvest)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect and maintain an artifact cache "
+        "(stats / purge / verify)",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cp = cache_sub.add_parser("stats", help="summarize cache contents")
+    cp.add_argument("--cache-dir", required=True)
+    cp.add_argument("--json", action="store_true")
+    cp.set_defaults(fn=_cmd_cache_stats)
+    cp = cache_sub.add_parser("purge", help="drop every entry")
+    cp.add_argument("--cache-dir", required=True)
+    cp.set_defaults(fn=_cmd_cache_purge)
+    cp = cache_sub.add_parser(
+        "verify", help="integrity-check every entry's hashes"
+    )
+    cp.add_argument("--cache-dir", required=True)
+    cp.add_argument(
+        "--delete-corrupt",
+        action="store_true",
+        help="drop failing entries so the next compile repopulates them",
+    )
+    cp.set_defaults(fn=_cmd_cache_verify)
 
     p = sub.add_parser("format", help="pretty-print (normalize) a source file")
     common(p)

@@ -1,17 +1,28 @@
 """The Liquid Metal compiler driver (Figure 2).
 
-``compile_program`` accepts Lime source and produces a collection of
-artifacts for different architectures: the frontend type-checks,
-performs shallow optimizations and emits bytecode for the *entire*
-program; the backend device compilers (OpenCL for GPUs, Verilog for
-FPGAs) each compile the task sub-graphs they support. The result feeds
-the runtime's artifact store for task substitution.
+The public entry point is :class:`CompilerSession`: it owns the
+compilation knobs (:class:`CompileOptions`), the observability handle
+(the options' tracer and its metrics registry), and — when enabled —
+the content-addressed artifact cache
+(:class:`repro.backends.artifacts.ArtifactCache`), so repeated
+compilations of the same program warm-start from cached artifacts
+instead of re-running backend codegen (docs/CACHING.md)::
 
-Compilation knobs live in the frozen :class:`CompileOptions` object —
-``compile_program(source, options=CompileOptions(...))``. The legacy
-keyword form (``compile_program(source, enable_gpu=False)``) still
-works through a deprecation shim that maps the kwargs onto
-:class:`CompileOptions` and emits :class:`DeprecationWarning`.
+    session = CompilerSession(CompileOptions(cache=CacheOptions(
+        cache_dir=".repro-cache", mode="readwrite")))
+    result = session.compile(lime_source)
+
+``compile_program`` remains as a thin deprecated shim over
+``CompilerSession.compile`` (the PR 1 deprecation-shim pattern: the
+one-line form keeps working, new code should hold a session). The
+legacy keyword form (``compile_program(source, enable_gpu=False)``)
+still works through the same shim and emits ``DeprecationWarning``.
+
+A compilation runs the frontend (type-check), shallow optimizations,
+and bytecode emission for the *entire* program; the backend device
+compilers (OpenCL for GPUs, Verilog for FPGAs) each compile the task
+sub-graphs they support. The result feeds the runtime's artifact store
+for task substitution.
 
 ``compile_report`` renders the textual equivalent of the toolchain
 overview — which tasks got which artifacts and why others were
@@ -26,6 +37,12 @@ import dataclasses
 import warnings
 from dataclasses import dataclass, field
 
+from repro.backends.artifacts import (
+    ArtifactCache,
+    CacheOptions,
+    cache_key,
+    modeled_compile_s,
+)
 from repro.backends.bytecode.compiler import compile_module, make_cpu_artifact
 from repro.backends.common import Artifact, ArtifactStore
 from repro.backends.opencl.compiler import compile_gpu
@@ -43,7 +60,10 @@ class CompileOptions:
     compilations and threads; derive variants with :meth:`replace`.
     ``tracer`` threads a :class:`repro.obs.Tracer` through the driver
     and all three backends (``compile.*`` spans); the default null
-    tracer records nothing and costs nothing.
+    tracer records nothing and costs nothing. ``cache`` is the
+    validated artifact-cache sub-options block
+    (:class:`repro.backends.artifacts.CacheOptions`); the default is
+    ``mode='off'`` — no cache I/O at all.
     """
 
     enable_gpu: bool = True
@@ -52,6 +72,7 @@ class CompileOptions:
     fpga_max_stage_depth: "int | None" = None
     run_optimizations: bool = True
     tracer: object = NULL_TRACER
+    cache: CacheOptions = field(default_factory=CacheOptions)
 
     def replace(self, **overrides) -> "CompileOptions":
         """A copy with the given fields changed."""
@@ -78,6 +99,25 @@ _LEGACY_OPTION_NAMES = (
 
 
 @dataclass
+class CachedBackend:
+    """Stands in for a backend compiler object on a warm start.
+
+    A cache hit never constructs the real backend (that is the point),
+    but downstream consumers still want ``.artifacts``/``.exclusions``
+    — this stub carries them plus the cache entry it came from.
+    """
+
+    backend: str
+    artifacts: list
+    exclusions: list
+    entry: object = None
+
+    @property
+    def cached(self) -> bool:
+        return True
+
+
+@dataclass
 class CompileResult:
     """Everything the compilation produced."""
 
@@ -90,6 +130,9 @@ class CompileResult:
     fpga_backend: object = None
     options: dict = field(default_factory=dict)
     compile_options: "CompileOptions | None" = None
+    #: Per-backend cache outcome: backend id -> {state: off|hit|miss,
+    #: modeled_s, key?, payload_bytes?} (docs/CACHING.md).
+    cache_info: dict = field(default_factory=dict)
 
     @property
     def bytecode_program(self):
@@ -106,6 +149,21 @@ class CompileResult:
         if self.compile_options is None:
             return NULL_TRACER
         return self.compile_options.tracer
+
+    @property
+    def warm(self) -> bool:
+        """True when every enabled backend loaded from the cache."""
+        return bool(self.cache_info) and all(
+            info["state"] == "hit" for info in self.cache_info.values()
+        )
+
+    @property
+    def modeled_compile_s(self) -> float:
+        """Modeled seconds the backend compile path cost: codegen
+        seconds for cold/off backends, load seconds for warm ones."""
+        return sum(
+            info.get("modeled_s", 0.0) for info in self.cache_info.values()
+        )
 
     def artifact_texts(self, device: str) -> dict:
         """Generated source text per artifact id for one device."""
@@ -136,86 +194,322 @@ def _resolve_options(options, legacy_kwargs) -> CompileOptions:
     return options or CompileOptions()
 
 
+class CompilerSession:
+    """The toolchain entry point: options + cache + observability.
+
+    A session holds everything a sequence of compilations shares — the
+    frozen :class:`CompileOptions`, the
+    :class:`~repro.backends.artifacts.ArtifactCache` handle (when
+    ``options.cache`` enables one), and the obs registry (the options'
+    tracer and its metrics/counters). ``compile`` runs the frontend and
+    IR lowering, then resolves each enabled backend *through the
+    cache*: a hit loads verified artifacts without invoking backend
+    codegen at all; a miss compiles and (in ``readwrite`` mode) writes
+    the entry back. ``harvest`` pre-populates the cache for the whole
+    application suite ahead of time (AOT harvesting).
+    """
+
+    def __init__(self, options: "CompileOptions | None" = None, cache=None):
+        self.options = options or CompileOptions()
+        self.tracer = self.options.tracer
+        if cache is not None:
+            self.cache = cache
+        elif self.options.cache.enabled:
+            self.cache = ArtifactCache(self.options.cache)
+        else:
+            self.cache = None
+
+    @property
+    def counters(self):
+        return self.tracer.counters
+
+    @property
+    def metrics(self):
+        """The session's metrics registry (null when tracing is off)."""
+        from repro.obs.metrics import NULL_METRICS
+
+        return getattr(self.tracer, "metrics", NULL_METRICS)
+
+    # -- backend resolution ---------------------------------------------
+
+    def _compile_backend(self, backend_id: str, module, tracer):
+        """Cold path: run one backend compiler, with its usual span."""
+        if backend_id == "bytecode":
+            with tracer.span("compile.backend.bytecode") as bc_span:
+                cpu_artifact = make_cpu_artifact(module)
+                bc_span.set(
+                    functions=len(cpu_artifact.payload.functions),
+                    artifact_id=cpu_artifact.artifact_id,
+                )
+            return [cpu_artifact], [], None
+        if backend_id == "opencl":
+            with tracer.span("compile.backend.opencl") as gpu_span:
+                backend = compile_gpu(module, tracer=tracer)
+                gpu_span.set(
+                    artifacts=len(backend.artifacts),
+                    exclusions=len(backend.exclusions),
+                )
+            return list(backend.artifacts), list(backend.exclusions), backend
+        if backend_id == "verilog":
+            with tracer.span(
+                "compile.backend.verilog",
+                pipelined=self.options.fpga_pipelined,
+            ) as fpga_span:
+                backend = compile_fpga(
+                    module,
+                    pipelined=self.options.fpga_pipelined,
+                    max_stage_depth=self.options.fpga_max_stage_depth,
+                    tracer=tracer,
+                )
+                fpga_span.set(
+                    artifacts=len(backend.artifacts),
+                    exclusions=len(backend.exclusions),
+                )
+            return list(backend.artifacts), list(backend.exclusions), backend
+        raise ValueError(f"unknown backend id {backend_id!r}")
+
+    def _resolve_backend(self, backend_id: str, module, tracer):
+        """One backend through the cache: hit loads, miss compiles
+        (and stores in readwrite mode). Returns
+        ``(artifacts, exclusions, backend_obj, info)``."""
+        info: dict = {"state": "off"}
+        key = None
+        if self.cache is not None:
+            key = cache_key(
+                module,
+                backend_id,
+                self.options,
+                self.cache.options.device_family,
+            )
+            info["key"] = key
+            if self.cache.options.readable:
+                entry = self.cache.load(backend_id, key, tracer=tracer)
+                if entry is not None:
+                    info.update(
+                        state="hit",
+                        modeled_s=entry.modeled_load_s,
+                        modeled_cold_s=entry.modeled_compile_s,
+                        payload_bytes=entry.payload_bytes,
+                    )
+                    stub = CachedBackend(
+                        backend_id,
+                        entry.artifacts,
+                        entry.exclusions,
+                        entry,
+                    )
+                    return entry.artifacts, entry.exclusions, stub, info
+        artifacts, exclusions, backend = self._compile_backend(
+            backend_id, module, tracer
+        )
+        info["modeled_s"] = modeled_compile_s(backend_id, artifacts)
+        if self.cache is not None:
+            info["state"] = "miss"
+            if self.cache.options.writable:
+                entry = self.cache.store(
+                    backend_id, key, artifacts, exclusions, tracer=tracer
+                )
+                info["payload_bytes"] = entry.payload_bytes
+        return artifacts, exclusions, backend, info
+
+    # -- compilation ----------------------------------------------------
+
+    def compile(
+        self, source: str, filename: str = "<lime>"
+    ) -> CompileResult:
+        """Run the whole toolchain over Lime source text."""
+        options = self.options
+        tracer = self.tracer
+        counters = tracer.counters
+        cache_info: dict = {}
+        with tracer.span(
+            "compile", filename=filename, source_chars=len(source)
+        ) as compile_span:
+            with tracer.span("compile.frontend", filename=filename):
+                checked = analyze(source, filename)
+            with tracer.span(
+                "compile.ir", run_optimizations=options.run_optimizations
+            ) as ir_span:
+                module = build_ir(
+                    checked, run_optimizations=options.run_optimizations
+                )
+                ir_span.set(
+                    functions=len(module.functions),
+                    task_graphs=len(module.task_graphs),
+                )
+            store = ArtifactStore()
+            bc_artifacts, _, _, bc_info = self._resolve_backend(
+                "bytecode", module, tracer
+            )
+            cache_info["bytecode"] = bc_info
+            cpu_artifact = bc_artifacts[0]
+            store.add(cpu_artifact)
+            gpu_backend = None
+            fpga_backend = None
+            if options.enable_gpu:
+                artifacts, exclusions, gpu_backend, info = (
+                    self._resolve_backend("opencl", module, tracer)
+                )
+                cache_info["opencl"] = info
+                for artifact in artifacts:
+                    store.add(artifact)
+                for exclusion in exclusions:
+                    store.add_exclusion(exclusion)
+            if options.enable_fpga:
+                artifacts, exclusions, fpga_backend, info = (
+                    self._resolve_backend("verilog", module, tracer)
+                )
+                cache_info["verilog"] = info
+                for artifact in artifacts:
+                    store.add(artifact)
+                for exclusion in exclusions:
+                    store.add_exclusion(exclusion)
+            for exclusion in store.exclusions:
+                counters.add(
+                    f"compile.exclude[{exclusion.device}] {exclusion.reason}"
+                )
+            states = {info["state"] for info in cache_info.values()}
+            if states == {"hit"}:
+                store.provenance = "warm"
+            elif "hit" in states:
+                store.provenance = "mixed"
+            else:
+                store.provenance = "cold"
+            compile_span.set(
+                artifacts=len(store),
+                exclusions=len(store.exclusions),
+                artifact_source=store.provenance,
+            )
+        return CompileResult(
+            source=source,
+            checked=checked,
+            module=module,
+            bytecode_artifact=cpu_artifact,
+            store=store,
+            gpu_backend=gpu_backend,
+            fpga_backend=fpga_backend,
+            options=options.legacy_dict(),
+            compile_options=options,
+            cache_info=cache_info,
+        )
+
+    # -- cache operations -----------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """The cache's machine-readable stats (raises when disabled)."""
+        self._require_cache()
+        return self.cache.stats()
+
+    def _require_cache(self):
+        from repro.errors import ConfigurationError
+
+        if self.cache is None:
+            raise ConfigurationError(
+                "this CompilerSession has no artifact cache; pass "
+                "CompileOptions(cache=CacheOptions(cache_dir=..., "
+                "mode='readwrite'))"
+            )
+
+    def harvest(
+        self,
+        apps: "list | None" = None,
+        verify: bool = True,
+        pin: bool = False,
+    ) -> dict:
+        """AOT-harvest the cache for a whole application suite.
+
+        Compiles every named suite app (default: all of
+        ``repro.apps.SUITE``) through this session so the cache is
+        populated ahead of time, then — with ``verify=True`` — compiles
+        each app a second time and confirms every backend warm-starts.
+        ``pin=True`` pins every harvested entry against LRU eviction.
+        Returns the ``repro.harvest/1`` report.
+        """
+        from repro.apps import SUITE
+
+        self._require_cache()
+        names = sorted(apps) if apps else sorted(SUITE)
+        unknown = [n for n in names if n not in SUITE]
+        if unknown:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "unknown suite apps: " + ", ".join(unknown)
+            )
+        report = {
+            "schema": "repro.harvest/1",
+            "cache_dir": self.cache.root,
+            "device_family": self.cache.options.device_family,
+            "apps": {},
+            "totals": {
+                "modeled_cold_s": 0.0,
+                "modeled_warm_s": 0.0,
+                "payload_bytes": 0,
+                "verified": verify,
+                "all_warm": True,
+            },
+        }
+        for name in names:
+            spec = SUITE[name]
+            with self.tracer.span("harvest.app", app=name):
+                result = self.compile(
+                    spec.source, filename=f"<{name}.lime>"
+                )
+            record = {
+                "backends": {
+                    backend: {
+                        "state": info["state"],
+                        "modeled_s": info.get("modeled_s", 0.0),
+                        "payload_bytes": info.get("payload_bytes", 0),
+                    }
+                    for backend, info in result.cache_info.items()
+                },
+                "modeled_cold_s": sum(
+                    info.get("modeled_cold_s", info.get("modeled_s", 0.0))
+                    for info in result.cache_info.values()
+                ),
+                "payload_bytes": sum(
+                    info.get("payload_bytes", 0)
+                    for info in result.cache_info.values()
+                ),
+            }
+            if pin:
+                for info in result.cache_info.values():
+                    if "key" in info:
+                        self.cache.pin(info["key"])
+            if verify:
+                warm = self.compile(
+                    spec.source, filename=f"<{name}.lime>"
+                )
+                record["warm"] = warm.warm
+                record["modeled_warm_s"] = warm.modeled_compile_s
+                report["totals"]["all_warm"] &= warm.warm
+                report["totals"]["modeled_warm_s"] += (
+                    record["modeled_warm_s"]
+                )
+            report["totals"]["modeled_cold_s"] += record["modeled_cold_s"]
+            report["totals"]["payload_bytes"] += record["payload_bytes"]
+            report["apps"][name] = record
+        totals = report["totals"]
+        if verify and totals["modeled_warm_s"] > 0:
+            totals["modeled_speedup"] = (
+                totals["modeled_cold_s"] / totals["modeled_warm_s"]
+            )
+        return report
+
+
 def compile_program(
     source: str,
     filename: str = "<lime>",
     options: "CompileOptions | None" = None,
     **legacy_kwargs,
 ) -> CompileResult:
-    """Run the whole toolchain over Lime source text."""
+    """Deprecated shim: run the toolchain via a one-shot
+    :class:`CompilerSession` (the session is the public entry point —
+    see docs/CACHING.md). Legacy keyword flags emit
+    ``DeprecationWarning``; the ``options=`` form stays silent for
+    compatibility, but new code should construct a session."""
     options = _resolve_options(options, legacy_kwargs)
-    tracer = options.tracer
-    counters = tracer.counters
-    with tracer.span(
-        "compile", filename=filename, source_chars=len(source)
-    ) as compile_span:
-        with tracer.span("compile.frontend", filename=filename):
-            checked = analyze(source, filename)
-        with tracer.span(
-            "compile.ir", run_optimizations=options.run_optimizations
-        ) as ir_span:
-            module = build_ir(
-                checked, run_optimizations=options.run_optimizations
-            )
-            ir_span.set(
-                functions=len(module.functions),
-                task_graphs=len(module.task_graphs),
-            )
-        store = ArtifactStore()
-        with tracer.span("compile.backend.bytecode") as bc_span:
-            cpu_artifact = make_cpu_artifact(module)
-            bc_span.set(
-                functions=len(cpu_artifact.payload.functions),
-                artifact_id=cpu_artifact.artifact_id,
-            )
-        store.add(cpu_artifact)
-        gpu_backend = None
-        fpga_backend = None
-        if options.enable_gpu:
-            with tracer.span("compile.backend.opencl") as gpu_span:
-                gpu_backend = compile_gpu(module, tracer=tracer)
-                gpu_span.set(
-                    artifacts=len(gpu_backend.artifacts),
-                    exclusions=len(gpu_backend.exclusions),
-                )
-            for artifact in gpu_backend.artifacts:
-                store.add(artifact)
-            for exclusion in gpu_backend.exclusions:
-                store.add_exclusion(exclusion)
-        if options.enable_fpga:
-            with tracer.span(
-                "compile.backend.verilog", pipelined=options.fpga_pipelined
-            ) as fpga_span:
-                fpga_backend = compile_fpga(
-                    module,
-                    pipelined=options.fpga_pipelined,
-                    max_stage_depth=options.fpga_max_stage_depth,
-                    tracer=tracer,
-                )
-                fpga_span.set(
-                    artifacts=len(fpga_backend.artifacts),
-                    exclusions=len(fpga_backend.exclusions),
-                )
-            for artifact in fpga_backend.artifacts:
-                store.add(artifact)
-            for exclusion in fpga_backend.exclusions:
-                store.add_exclusion(exclusion)
-        for exclusion in store.exclusions:
-            counters.add(f"compile.exclude[{exclusion.device}] {exclusion.reason}")
-        compile_span.set(
-            artifacts=len(store), exclusions=len(store.exclusions)
-        )
-    return CompileResult(
-        source=source,
-        checked=checked,
-        module=module,
-        bytecode_artifact=cpu_artifact,
-        store=store,
-        gpu_backend=gpu_backend,
-        fpga_backend=fpga_backend,
-        options=options.legacy_dict(),
-        compile_options=options,
-    )
+    return CompilerSession(options).compile(source, filename=filename)
 
 
 def compile_report(result: CompileResult, trace=None) -> str:
@@ -249,6 +543,18 @@ def compile_report(result: CompileResult, trace=None) -> str:
             f"  [{exclusion.device:8s}] {exclusion.task_id}: "
             f"{exclusion.reason}"
         )
+    cache_used = any(
+        info.get("state") != "off" for info in result.cache_info.values()
+    )
+    if cache_used:
+        lines.append("")
+        lines.append(f"artifact source: {result.store.provenance}")
+        for backend, info in sorted(result.cache_info.items()):
+            modeled = info.get("modeled_s", 0.0) * 1e6
+            lines.append(
+                f"  [{backend:8s}] {info['state']:4s} "
+                f"(modeled {modeled:,.0f}us)"
+            )
     tracer = result.tracer if trace is True else trace
     if tracer is not None and getattr(tracer, "enabled", False):
         from repro.obs.export import render_span_tree

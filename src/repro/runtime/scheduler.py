@@ -70,6 +70,11 @@ class SequentialScheduler:
                     # No FIFOs in sequential mode: the explicit zero
                     # keeps profile reports uniform across schedulers.
                     span.set(out_items=len(items), queue_wait_us=0.0)
+                    source = ctx.artifact_source
+                    if source is not None:
+                        # Warm runs execute cache-loaded artifacts; the
+                        # stamp lets a trace prove no codegen ran.
+                        span.set(artifact_source=source)
                     breaker = ctx.health_state(task)
                     if breaker is not None:
                         # The breaker's state after the stage drained:
@@ -166,6 +171,9 @@ class ThreadedScheduler:
                         queue_wait_out_us=wait_out * 1e6,
                         queue_wait_us=(wait_in + wait_out) * 1e6,
                     )
+                    source = ctx.artifact_source
+                    if source is not None:
+                        span.set(artifact_source=source)
                     breaker = ctx.health_state(task)
                     if breaker is not None:
                         span.set(breaker_state=breaker)

@@ -51,6 +51,15 @@ class ExecutionContext:
 
         return getattr(self.tracer, "metrics", NULL_METRICS)
 
+    @property
+    def artifact_source(self) -> "str | None":
+        """The engine store's provenance (``cold``/``warm``/``mixed``),
+        or None for bare test stubs — lets the schedulers stamp
+        ``artifact_source`` on stage spans so a trace shows whether a
+        run executed freshly compiled or cache-loaded artifacts."""
+        store = getattr(self.engine, "store", None)
+        return getattr(store, "provenance", None)
+
     def health_state(self, task) -> "str | None":
         """The circuit-breaker state for a device task's span, or None
         for plain bytecode tasks / engines without a health registry —

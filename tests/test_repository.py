@@ -70,3 +70,49 @@ class TestRoundTrip:
     def test_load_missing_directory(self, tmp_path):
         with pytest.raises(BackendError):
             load_repository(str(tmp_path / "nothing"))
+
+
+class TestSlugCollisions:
+    def test_distinct_ids_get_distinct_slugs(self):
+        # ``graph:a.b`` and ``graph_a.b`` both sanitize to the same
+        # characters; without the digest suffix they would silently
+        # overwrite each other's files on save.
+        from repro.backends.repository import _slug
+
+        assert _slug("graph:a.b") != _slug("graph_a.b")
+        assert _slug("graph:a.b") != _slug("graph/a.b")
+
+    def test_clean_ids_keep_plain_slugs(self):
+        from repro.backends.repository import _slug
+
+        assert _slug("graph_a.b-1") == "graph_a.b-1"
+
+    def test_colliding_artifacts_round_trip(self, tmp_path):
+        from repro.backends.common import Artifact, ArtifactStore, Manifest
+
+        store = ArtifactStore()
+        for artifact_id, payload in (
+            ("graph:a.b", {"which": "colon"}),
+            ("graph_a.b", {"which": "underscore"}),
+        ):
+            store.add(
+                Artifact(
+                    manifest=Manifest(
+                        artifact_id=artifact_id,
+                        device="gpu",
+                        task_ids=["t"],
+                        graph_id="g",
+                        source_language="opencl",
+                    ),
+                    payload=payload,
+                    text=f"// {artifact_id}",
+                )
+            )
+        save_repository(store, str(tmp_path))
+        reloaded = load_repository(str(tmp_path))
+        assert len(reloaded) == 2
+        assert reloaded.lookup("graph:a.b").payload == {"which": "colon"}
+        assert reloaded.lookup("graph_a.b").payload == {
+            "which": "underscore"
+        }
+        assert reloaded.lookup("graph:a.b").text == "// graph:a.b"
