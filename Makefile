@@ -3,10 +3,10 @@
 PYTHON ?= python
 
 .PHONY: test bench bench-smoke examples trace-smoke fault-smoke \
-	profile-smoke health-smoke harvest-smoke all clean
+	profile-smoke health-smoke harvest-smoke serve-smoke all clean
 
 test: trace-smoke fault-smoke profile-smoke health-smoke harvest-smoke \
-		bench-smoke
+		serve-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
 
 # The -m "" overrides pyproject's default "not slow" filter so the
@@ -92,6 +92,20 @@ health-smoke:
 	from repro.runtime import validate_health_file; \
 	validate_health_file('benchmarks/out/health_smoke.json'); \
 	print('health-smoke: benchmarks/out/health_smoke.json valid')"
+
+# Multi-tenant co-execution service smoke: 3 tenants x 4 jobs through
+# the long-lived service (admission control, device-pool leasing,
+# shared breakers), every job verified bit-identical to a standalone
+# run, report validated as repro.service/1 (docs/SERVICE.md).
+serve-smoke:
+	mkdir -p benchmarks/out
+	PYTHONPATH=src $(PYTHON) -m repro serve \
+		--tenants 3 --jobs-per-tenant 4 --scheduler sequential \
+		--verify -o benchmarks/out/serve_smoke.json > /dev/null
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.service import validate_service_file; \
+	validate_service_file('benchmarks/out/serve_smoke.json'); \
+	print('serve-smoke: benchmarks/out/serve_smoke.json valid')"
 
 # Kill every accelerator call against a GPU map app and an FPGA stream
 # app: both runs must still produce output identical to a cpu-only run,

@@ -41,6 +41,10 @@ _LAZY_ATTRS = {
     "ArtifactCache": ("repro.backends.artifacts", "ArtifactCache"),
     "Tracer": ("repro.obs", "Tracer"),
     "NULL_TRACER": ("repro.obs", "NULL_TRACER"),
+    "CoExecutionService": ("repro.service", "CoExecutionService"),
+    "ServiceConfig": ("repro.service", "ServiceConfig"),
+    "DevicePool": ("repro.service", "DevicePool"),
+    "AdmissionController": ("repro.service", "AdmissionController"),
 }
 
 
@@ -57,14 +61,18 @@ def __getattr__(name):
 
 
 __all__ = [
+    "AdmissionController",
     "ArtifactCache",
     "CacheOptions",
+    "CoExecutionService",
     "CompileOptions",
     "CompilerSession",
+    "DevicePool",
     "LiquidMetalError",
     "NULL_TRACER",
     "Runtime",
     "RuntimeConfig",
+    "ServiceConfig",
     "Tracer",
     "compile_program",
     "compile_report",

@@ -166,3 +166,31 @@ def sobel_args(width: int = 48, height: int = 32):
         width,
         height,
     ]
+
+
+# Reduced workloads for smoke drivers and quick sweeps (the service
+# driver and `make serve-smoke` use these; the test suite keeps its
+# own equivalent table). Deterministic: same name -> same workload.
+SMALL = {
+    "bitflip": lambda: bitflip_args(64),
+    "saxpy": lambda: saxpy_args(128),
+    "vector_sum": lambda: vector_sum_args(128),
+    "black_scholes": lambda: black_scholes_args(96),
+    "mandelbrot": lambda: mandelbrot_args(16, 8, 16),
+    "nbody": lambda: nbody_args(32),
+    "matmul": lambda: matmul_args(8),
+    "convolution": lambda: convolution_args(128, 5),
+    "dct8x8": lambda: dct_args(8, 8),
+    "kmeans": lambda: kmeans_args(96, 4),
+    "gray_pipeline": lambda: gray_pipeline_args(96),
+    "crc8": lambda: crc8_args(96),
+    "parity": lambda: parity_args(96),
+    "hybrid": lambda: hybrid_args(96, 48),
+    "running_sum": lambda: running_sum_args(48),
+    "sobel": lambda: sobel_args(12, 8),
+}
+
+
+def small_args(name: str):
+    """The reduced ``(entry, args)`` workload for one suite app."""
+    return SMALL[name]()

@@ -570,6 +570,74 @@ def _values_equal(left, right) -> bool:
         return repr(left) == repr(right)
 
 
+def _cmd_serve(args) -> int:
+    """Run the deterministic multi-tenant service driver: N tenants
+    (weights cycling 1,2,3) submit jobs concurrently through the
+    long-lived co-execution service — admission control, device-pool
+    leasing, shared breakers — then the service drains and prints the
+    ``repro.service/1`` report. With ``--verify`` every job is
+    compared bit-identically against a standalone fault-free run."""
+    import json
+
+    from repro.runtime import load_fault_plan
+    from repro.service import (
+        render_service_report,
+        run_service_driver,
+        validate_service_report,
+    )
+
+    plan = load_fault_plan(args.plan) if args.plan else None
+    report = run_service_driver(
+        tenants=args.tenants,
+        jobs_per_tenant=args.jobs_per_tenant,
+        gpu_slots=args.gpu_slots,
+        fpga_slots=args.fpga_slots,
+        max_running=args.max_running,
+        max_queue_depth=args.max_queue_depth,
+        scheduler=args.scheduler,
+        fault_plan=plan,
+        verify=args.verify,
+    )
+    problems = validate_service_report(report)
+    if problems:
+        print("error: service report failed validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_service_report(report))
+        if args.verify:
+            driver = report.get("driver", {})
+            print(
+                "verify: {n} job(s) bit-identical to standalone runs "
+                "({t})".format(
+                    n=driver.get("verified_jobs", 0),
+                    t=(
+                        "output, value, simulated seconds"
+                        if driver.get("timing_checked")
+                        else "output and value; timing exempt under "
+                        "fault plan"
+                    ),
+                )
+            )
+        if args.out:
+            print(f"\nwrote {args.out}")
+    totals = report.get("totals", {})
+    if totals.get("failed", 0):
+        print(
+            f"FAIL: {totals['failed']} job(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_format(args) -> int:
     from repro.lime import parse, pretty
 
@@ -1057,6 +1125,77 @@ def build_parser() -> argparse.ArgumentParser:
     cache_flags(p)
     batch_size_option(p)
     p.set_defaults(fn=_cmd_health)
+
+    p = sub.add_parser(
+        "serve",
+        help="drive the long-lived co-execution service: multi-tenant "
+        "admission control, device-pool leasing, graceful "
+        "cancellation; prints the repro.service/1 report",
+    )
+    p.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        help="simulated tenants (weights cycle 1,2,3)",
+    )
+    p.add_argument(
+        "--jobs-per-tenant",
+        type=int,
+        default=8,
+        help="jobs each tenant submits",
+    )
+    p.add_argument(
+        "--gpu-slots",
+        type=int,
+        default=2,
+        help="simulated GPU slots in the shared device pool",
+    )
+    p.add_argument(
+        "--fpga-slots",
+        type=int,
+        default=1,
+        help="simulated FPGA slots in the shared device pool",
+    )
+    p.add_argument(
+        "--max-running",
+        type=int,
+        default=4,
+        help="jobs executing concurrently (beyond this they queue)",
+    )
+    p.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=8,
+        help="per-tenant queued-job bound; over it submissions are "
+        "rejected with a retry-after hint",
+    )
+    p.add_argument(
+        "--scheduler",
+        choices=("threaded", "sequential"),
+        default="sequential",
+    )
+    p.add_argument(
+        "--plan",
+        help="fault plan JSON file applied to every job's runtime",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="compare every job against a standalone fault-free run "
+        "(bit-identical output/value; simulated seconds too when no "
+        "fault plan)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable JSON report instead of text",
+    )
+    p.add_argument(
+        "-o",
+        "--out",
+        help="also write the JSON report to this path",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "harvest",

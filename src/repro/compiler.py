@@ -34,6 +34,8 @@ tree of the compilation.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import threading
 import warnings
 from dataclasses import dataclass, field
 
@@ -218,6 +220,12 @@ class CompilerSession:
             self.cache = ArtifactCache(self.options.cache)
         else:
             self.cache = None
+        # In-memory memo for compile_cached: source digest -> result.
+        # One lock serializes compilation across service job threads so
+        # N concurrent submissions of one app compile it once and share
+        # the (read-only) CompileResult.
+        self._memo_lock = threading.Lock()
+        self._memo: dict = {}
 
     @property
     def counters(self):
@@ -391,6 +399,29 @@ class CompilerSession:
             compile_options=options,
             cache_info=cache_info,
         )
+
+    def compile_cached(
+        self, source: str, filename: str = "<lime>"
+    ) -> CompileResult:
+        """Memoized :meth:`compile` for long-lived sessions.
+
+        Keyed on a digest of the source text (the filename is labeling
+        only), so a co-execution service compiling the same program
+        for many jobs pays the toolchain once and every job shares one
+        read-only :class:`CompileResult` — runtimes never mutate it.
+        Thread-safe.
+        """
+        key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        with self._memo_lock:
+            result = self._memo.get(key)
+            if result is None:
+                self.counters.add("session.compile.memo_miss")
+                result = self._memo[key] = self.compile(
+                    source, filename=filename
+                )
+            else:
+                self.counters.add("session.compile.memo_hit")
+        return result
 
     # -- cache operations -----------------------------------------------
 

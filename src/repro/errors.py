@@ -129,28 +129,75 @@ class DeviceTimeoutError(DeviceError):
 
     Raised by the :class:`~repro.runtime.scheduler.ThreadedScheduler`
     stage watchdog and by injected stage-stall faults. Carries the
-    stage/device so the supervisor can demote the right span.
+    stage/device so the supervisor can demote the right span, plus —
+    when the run belongs to a service job — the ``job_id``/``tenant``
+    so service-level error reports are attributable.
     """
 
     def __init__(self, message: str, task_id: str | None = None,
-                 device: str | None = None):
+                 device: str | None = None, job_id: str | None = None,
+                 tenant: str | None = None):
         self.task_id = task_id
         self.device = device
+        self.job_id = job_id
+        self.tenant = tenant
         super().__init__(message)
 
 
 class RetryExhaustedError(LiquidMetalError):
     """The supervisor gave up retrying a device task and no bytecode
-    fallback was available. Carries the failing task/device context and
-    the last underlying error (also chained via ``__cause__``)."""
+    fallback was available. Carries the failing task/device context,
+    the last underlying error (also chained via ``__cause__``), and —
+    for service jobs — the ``job_id``/``tenant`` the failure belongs
+    to."""
 
     def __init__(self, message: str, task_id: str | None = None,
                  device: str | None = None, attempts: int = 0,
-                 cause: "BaseException | None" = None):
+                 cause: "BaseException | None" = None,
+                 job_id: str | None = None, tenant: str | None = None):
         self.task_id = task_id
         self.device = device
         self.attempts = attempts
         self.cause = cause
+        self.job_id = job_id
+        self.tenant = tenant
+        super().__init__(message)
+
+
+class JobCancelledError(LiquidMetalError):
+    """A service job was cancelled (explicitly, or by its deadline)
+    before it completed.
+
+    Cooperative: the runtime raises it at the next stage/firing
+    boundary after the job's :class:`~repro.runtime.cancel.CancelToken`
+    trips. ``reason`` is ``"cancelled"`` for explicit cancellation and
+    ``"deadline"`` for deadline expiry.
+    """
+
+    def __init__(self, message: str, job_id: str | None = None,
+                 tenant: str | None = None, reason: str = "cancelled"):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.reason = reason
+        super().__init__(message)
+
+
+class AdmissionRejected(LiquidMetalError):
+    """The co-execution service refused a job submission — the
+    tenant's queue is at its depth bound (or the service is draining).
+
+    An honest rejection: carries the tenant, the observed queue depth,
+    and a ``retry_after_s`` hint estimating when capacity should free
+    up, so a client can back off instead of hammering a saturated
+    pool."""
+
+    def __init__(self, message: str, tenant: str | None = None,
+                 queue_depth: int = 0,
+                 retry_after_s: float = 0.0, reason: str = "saturated"):
+        self.tenant = tenant
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
+        self.reason = reason
         super().__init__(message)
 
 

@@ -2,6 +2,7 @@
 marshaling, fault injection/supervision, and the co-execution engine."""
 
 from repro.runtime.adaptive import AdaptationRecord, AdaptiveTask
+from repro.runtime.cancel import CancelToken
 from repro.runtime.engine import Runtime, RuntimeConfig, RunOutcome
 from repro.runtime.faults import (
     FaultInjector,
@@ -47,6 +48,7 @@ __all__ = [
     "AdaptationRecord",
     "AdaptiveTask",
     "BoundaryCosts",
+    "CancelToken",
     "Connection",
     "DemotionRecord",
     "DeviceHealth",

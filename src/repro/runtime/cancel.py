@@ -1,0 +1,114 @@
+"""Cooperative cancellation for service jobs.
+
+A :class:`CancelToken` is created per job by the co-execution service
+and threaded into the runtime via ``RuntimeConfig``/``Runtime``. The
+runtime never preempts a task: worker loops poll ``token.check()`` at
+firing/batch boundaries, so a trip surfaces as a typed
+:class:`~repro.errors.JobCancelledError` at the next safe point and
+the schedulers can drain queues and join threads deterministically.
+
+Deadlines ride on the same token. The deadline is stored as an
+*absolute* instant on an injectable clock (``time.monotonic`` by
+default; tests inject a fake clock), and ``check()`` trips the token
+with reason ``"deadline"`` the first time it observes the deadline in
+the past. This keeps deadline expiry and explicit cancellation on one
+code path — a single flag, a single error type.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..errors import JobCancelledError
+
+__all__ = ["CancelToken"]
+
+
+class CancelToken:
+    """A one-way trip wire shared between a service job and its run.
+
+    Thread-safe: ``cancel`` may be called from any thread while worker
+    threads poll ``check``. Once tripped, a token stays tripped; the
+    first reason wins.
+    """
+
+    def __init__(
+        self,
+        job_id: str | None = None,
+        tenant: str | None = None,
+        deadline_s: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.job_id = job_id
+        self.tenant = tenant
+        self._clock = clock if clock is not None else time.monotonic
+        self._deadline = (
+            None if deadline_s is None else self._clock() + deadline_s
+        )
+        self._lock = threading.Lock()
+        self._cancelled = threading.Event()
+        self._reason: str | None = None
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute deadline on this token's clock, or ``None``."""
+        return self._deadline
+
+    @property
+    def reason(self) -> str | None:
+        """Why the token tripped (``None`` while still live)."""
+        return self._reason
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Trip the token. Returns True if this call did the tripping
+        (False if it was already tripped — the first reason sticks)."""
+        with self._lock:
+            if self._cancelled.is_set():
+                return False
+            self._reason = reason
+            self._cancelled.set()
+            return True
+
+    def cancelled(self) -> bool:
+        """True once the token has tripped (including by deadline —
+        this polls the deadline, so a quiescent expired token still
+        reads as cancelled)."""
+        if self._cancelled.is_set():
+            return True
+        if self._deadline is not None and self._clock() >= self._deadline:
+            self.cancel("deadline")
+            return True
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`JobCancelledError` if the token has tripped.
+
+        Worker loops call this at firing/batch boundaries; it is the
+        only place cancellation becomes an exception.
+        """
+        if self.cancelled():
+            verb = (
+                "deadline exceeded"
+                if self._reason == "deadline"
+                else "cancelled"
+            )
+            label = self.job_id if self.job_id is not None else "<job>"
+            raise JobCancelledError(
+                f"job {label} {verb}",
+                job_id=self.job_id,
+                tenant=self.tenant,
+                reason=self._reason or "cancelled",
+            )
+
+    def remaining_s(self) -> float | None:
+        """Seconds until the deadline (``None`` if no deadline;
+        clamped at 0.0 once expired)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"tripped:{self._reason}" if self._cancelled.is_set() else "live"
+        return f"CancelToken(job_id={self.job_id!r}, {state})"

@@ -86,6 +86,16 @@ class Pipeline:
     def task_ids(self) -> list:
         return [t.task_id for t in self.tasks]
 
+    def connections(self) -> list:
+        """Every wired FIFO, in pipeline order (empty before
+        :meth:`wire`). The schedulers' shutdown path iterates these to
+        drain a cancelled run."""
+        return [
+            t.output_conn
+            for t in self.tasks
+            if getattr(t, "output_conn", None) is not None
+        ]
+
     def describe(self) -> str:
         parts = []
         for task in self.tasks:

@@ -344,9 +344,43 @@ class HealthRegistry:
         self.policy = policy or HealthPolicy()
         self.tracer = tracer
         self.metrics = getattr(tracer, "metrics", NULL_METRICS)
-        self.listener = listener
+        # A service-scoped registry is shared by many concurrent
+        # runtimes, each syncing its own substitution policy — so
+        # transitions fan out to a *list* of listeners. The ``listener``
+        # ctor argument is kept for the single-runtime case.
+        self._listeners: list = []
+        if listener is not None:
+            self._listeners.append(listener)
         self._lock = threading.Lock()
         self._breakers: dict = {}   # (device, key) -> DeviceHealth
+
+    # -- listeners ---------------------------------------------------------
+
+    @property
+    def listener(self):
+        """The first registered listener (legacy single-runtime view)."""
+        return self._listeners[0] if self._listeners else None
+
+    @listener.setter
+    def listener(self, fn) -> None:
+        self._listeners = [] if fn is None else [fn]
+
+    def add_listener(self, fn) -> None:
+        """Subscribe ``fn(record, transition)`` to breaker transitions
+        (idempotent). Runtimes sharing a service-scoped registry each
+        register their policy-sync hook here."""
+        with self._lock:
+            if fn not in self._listeners:
+                self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        """Unsubscribe a listener (no-op if absent) — called when a
+        runtime sharing this registry is closed."""
+        with self._lock:
+            try:
+                self._listeners.remove(fn)
+            except ValueError:
+                pass
 
     # -- breaker access ----------------------------------------------------
 
@@ -374,6 +408,18 @@ class HealthRegistry:
     def breakers(self) -> list:
         with self._lock:
             return list(self._breakers.values())
+
+    def family_open(self, device: str) -> bool:
+        """True when any breaker for ``device`` is currently OPEN —
+        the service's degradation signal: don't lease slots of a
+        family the fleet has quarantined; let the job run its spans
+        through the shared breakers (bytecode fallback) instead."""
+        with self._lock:
+            return any(
+                record.state == OPEN
+                for (dev, _key), record in self._breakers.items()
+                if dev == device
+            )
 
     # -- outcome reports ---------------------------------------------------
 
@@ -449,8 +495,8 @@ class HealthRegistry:
             cooldown_s=transition.cooldown_s,
         ):
             pass
-        if self.listener is not None:
-            self.listener(record, transition)
+        for listener in list(self._listeners):
+            listener(record, transition)
 
     # -- report ------------------------------------------------------------
 

@@ -146,6 +146,41 @@ class Connection:
             except _queue.Empty:
                 return out
 
+    def drain_bounded(self, timeout_s: float = 0.0) -> list:
+        """Bounded-wait shutdown drain: empty the queue and wake both
+        sides so a cancelled pipeline can unwind without deadlocking.
+
+        A producer blocked in :meth:`put` (full queue) is unblocked by
+        the drain itself; a consumer blocked in :meth:`get` (empty
+        queue) is woken by the ``END_OF_STREAM`` this pushes back in.
+        The sentinel is pushed with ``put_nowait`` so the drain itself
+        can never block — if the queue refilled to capacity in the
+        race, the producer that filled it is about to observe the
+        cancellation anyway, and the next drain pass clears it.
+
+        Returns the abandoned (non-sentinel) items so callers can
+        count discarded work. ``timeout_s`` bounds an optional settle
+        wait for a last straggler ``put`` to land before the final
+        sweep.
+        """
+        abandoned: list = []
+        deadline = time.perf_counter() + max(0.0, timeout_s)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except _queue.Empty:
+                if time.perf_counter() >= deadline:
+                    break
+                time.sleep(0.001)
+                continue
+            if item is not END_OF_STREAM:
+                abandoned.append(item)
+        try:
+            self._queue.put_nowait(END_OF_STREAM)
+        except _queue.Full:
+            pass
+        return abandoned
+
     @property
     def approximate_depth(self) -> int:
         return self._queue.qsize()

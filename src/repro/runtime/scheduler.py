@@ -18,6 +18,7 @@ into a :class:`~repro.errors.DeviceTimeoutError` instead of a hang.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.errors import DeviceTimeoutError, RuntimeGraphError
 from repro.runtime.graph import Pipeline
@@ -100,6 +101,11 @@ class SequentialScheduler:
                 f"graph was never started: {pipeline.describe()}"
             )
 
+    def shutdown(self, pipeline: Pipeline, timeout_s: float = 0.5) -> bool:
+        """Sequential runs hold no FIFOs or threads; a cancelled run
+        has already unwound by the time anyone can call this."""
+        return True
+
 
 class ThreadedScheduler:
     """One thread per task, blocking FIFO connections in between.
@@ -115,9 +121,15 @@ class ThreadedScheduler:
     name = "threaded"
 
     def __init__(self, queue_capacity: int = 64,
-                 stage_timeout_s: "float | None" = None):
+                 stage_timeout_s: "float | None" = None,
+                 job_id: "str | None" = None,
+                 tenant: "str | None" = None):
         self.queue_capacity = queue_capacity
         self.stage_timeout_s = stage_timeout_s
+        # Service-job attribution: stamped onto watchdog timeouts so a
+        # multi-tenant error report can name whose stage stalled.
+        self.job_id = job_id
+        self.tenant = tenant
 
     def start(self, pipeline: Pipeline, ctx: ExecutionContext) -> None:
         pipeline.validate()
@@ -201,31 +213,79 @@ class ThreadedScheduler:
         self.start(pipeline, ctx)
         self.join(pipeline)
 
+    # How long each join slice blocks before re-checking for recorded
+    # stage errors. Small enough that a failed stage is noticed (and
+    # its wedged FIFOs drained) promptly; large enough not to spin.
+    _JOIN_SLICE_S = 0.02
+
     def join(self, pipeline: Pipeline) -> None:
         if not pipeline.started:
             raise RuntimeGraphError(
                 f"graph was never started: {pipeline.describe()}"
             )
-        for thread, task in zip(pipeline.threads, pipeline.tasks):
-            thread.join(self.stage_timeout_s)
-            if thread.is_alive():
-                # The stage watchdog fired: a stage is stalled (hung
-                # kernel, wedged queue). The thread is daemonic, so we
-                # can abandon it and surface the stall.
-                pipeline.failed = True
-                error = DeviceTimeoutError(
-                    f"stage {task.task_id!r} on device {task.device!r} "
-                    f"exceeded the {self.stage_timeout_s}s watchdog "
-                    f"timeout",
-                    task_id=task.task_id,
-                    device=task.device,
-                )
-                pipeline.failure = error
-                raise error
         errors = pipeline._errors
+        for thread, task in zip(pipeline.threads, pipeline.tasks):
+            if errors:
+                # A stage already failed (or the job was cancelled);
+                # stop waiting for orderly completion and drain below.
+                break
+            deadline = (
+                time.perf_counter() + self.stage_timeout_s
+                if self.stage_timeout_s is not None
+                else None
+            )
+            while thread.is_alive() and not errors:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    # The stage watchdog fired: a stage is stalled
+                    # (hung kernel, wedged queue). Threads are
+                    # daemonic, so drain what we can and surface the
+                    # stall.
+                    pipeline.failed = True
+                    error = DeviceTimeoutError(
+                        f"stage {task.task_id!r} on device "
+                        f"{task.device!r} exceeded the "
+                        f"{self.stage_timeout_s}s watchdog timeout",
+                        task_id=task.task_id,
+                        device=task.device,
+                        job_id=self.job_id,
+                        tenant=self.tenant,
+                    )
+                    pipeline.failure = error
+                    self.shutdown(pipeline)
+                    raise error
+                thread.join(self._JOIN_SLICE_S)
         if errors:
+            # Drain FIFOs and join the surviving workers before
+            # surfacing the failure: a blocked producer (full queue
+            # into a dead stage) must not wedge this join forever.
+            self.shutdown(pipeline)
             task, exc = errors[0]
             pipeline.failed = True
             pipeline.failure = exc
             _attach_stage_context(exc, task, self.name)
             raise exc
+
+    def shutdown(self, pipeline: Pipeline, timeout_s: float = 0.5) -> bool:
+        """Bounded-wait teardown of a failed or cancelled run.
+
+        Repeatedly drains every FIFO (unblocking producers stuck in
+        ``put``/``close`` on full queues and waking consumers stuck in
+        ``get`` via the pushed-back end-of-stream) and joins worker
+        threads in short slices, until all threads are dead or
+        ``timeout_s`` expires. Returns True when every worker joined;
+        False means a genuinely hung (daemonic) thread was abandoned.
+        """
+        deadline = time.perf_counter() + max(0.0, timeout_s)
+        while True:
+            alive = [t for t in pipeline.threads if t.is_alive()]
+            if not alive:
+                return True
+            for conn in pipeline.connections():
+                conn.drain_bounded(0.0)
+            alive[0].join(self._JOIN_SLICE_S)
+            if time.perf_counter() >= deadline:
+                # One last sweep so nothing stays blocked on a FIFO
+                # even if we are about to abandon it.
+                for conn in pipeline.connections():
+                    conn.drain_bounded(0.0)
+                return not any(t.is_alive() for t in pipeline.threads)

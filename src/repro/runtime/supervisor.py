@@ -120,9 +120,14 @@ class Supervisor:
     """
 
     def __init__(self, policy: "RetryPolicy | None" = None,
-                 tracer=NULL_TRACER):
+                 tracer=NULL_TRACER, job_id: "str | None" = None,
+                 tenant: "str | None" = None):
         self.policy = policy or RetryPolicy()
         self.tracer = tracer
+        # Service-job attribution, stamped onto RetryExhaustedError so
+        # multi-tenant error reports can say whose retries ran out.
+        self.job_id = job_id
+        self.tenant = tenant
         self.metrics = getattr(tracer, "metrics", NULL_METRICS)
         self._lock = threading.Lock()
         # Per-task-id RNG streams: concurrent device tasks under the
@@ -225,6 +230,8 @@ class Supervisor:
                 device=device,
                 attempts=attempts,
                 cause=last,
+                job_id=self.job_id,
+                tenant=self.tenant,
             ) from last
         record = DemotionRecord(
             task_id=task_id,

@@ -70,6 +70,14 @@ class ExecutionContext:
             return None
         return registry.state_of(task.device, key)
 
+    @property
+    def cancel_token(self):
+        """The job's :class:`~repro.runtime.cancel.CancelToken`, or
+        None for standalone runs and bare test stubs. Task loops cache
+        this once and poll ``token.check()`` at firing/batch
+        boundaries — cancellation is cooperative, never preemptive."""
+        return getattr(self.engine, "cancel_token", None)
+
 
 class Task:
     kind = "task"
@@ -126,6 +134,9 @@ class SourceTask(Task):
         ]
 
     def process_batch(self, items, ctx):
+        token = ctx.cancel_token
+        if token is not None:
+            token.check()
         out = self.emit_items()
         stage = self._stage(ctx)
         stage.items += len(out)
@@ -134,7 +145,10 @@ class SourceTask(Task):
 
     def run(self, ctx):
         stage = self._stage(ctx)
+        token = ctx.cancel_token
         for item in self.emit_items():
+            if token is not None:
+                token.check()
             self.output_conn.put(item)
             stage.items += 1
         stage.busy_s += ctx.seconds_for_cycles(_QUEUE_CYCLES * stage.items)
@@ -166,6 +180,9 @@ class SinkTask(Task):
         self._index += 1
 
     def process_batch(self, items, ctx):
+        token = ctx.cancel_token
+        if token is not None:
+            token.check()
         stage = self._stage(ctx)
         for item in items:
             self._store(item)
@@ -175,10 +192,13 @@ class SinkTask(Task):
 
     def run(self, ctx):
         stage = self._stage(ctx)
+        token = ctx.cancel_token
         while True:
             item = self.input_conn.get()
             if item is END_OF_STREAM:
                 break
+            if token is not None:
+                token.check()
             self._store(item)
             stage.items += 1
         stage.busy_s += ctx.seconds_for_cycles(_QUEUE_CYCLES * stage.items)
@@ -223,8 +243,11 @@ class FilterTask(Task):
                 f"items; {len(items)} provided"
             )
         observe = self._latency_observer(ctx)
+        token = ctx.cancel_token
         cycles = 0
         for i in range(0, len(items), self.arity):
+            if token is not None:
+                token.check()
             value, used = ctx.invoke(
                 self.method, self._call_args(items[i : i + self.arity])
             )
@@ -239,11 +262,14 @@ class FilterTask(Task):
     def run(self, ctx):
         stage = self._stage(ctx)
         observe = self._latency_observer(ctx)
+        token = ctx.cancel_token
         cycles = 0
         while True:
             batch = self.input_conn.get_batch(self.arity)
             if batch and batch[0] is END_OF_STREAM:
                 break
+            if token is not None:
+                token.check()
             value, used = ctx.invoke(self.method, self._call_args(batch))
             cycles += used + _QUEUE_CYCLES
             if observe is not None:
@@ -292,8 +318,11 @@ class DeviceTask(Task):
         stage = self._stage(ctx)
         if not items:
             return []
+        token = ctx.cancel_token
         outputs: list = []
         for start in range(0, len(items), self.batch_size):
+            if token is not None:
+                token.check()
             out, seconds = self.executor(
                 list(items[start : start + self.batch_size])
             )
@@ -304,10 +333,13 @@ class DeviceTask(Task):
 
     def run(self, ctx):
         stage = self._stage(ctx)
+        token = ctx.cancel_token
         done = False
         while not done:
             batch, done = self.input_conn.get_up_to(self.batch_size)
             if batch:
+                if token is not None:
+                    token.check()
                 outputs, seconds = self.executor(batch)
                 stage.busy_s += seconds
                 stage.items += len(outputs)

@@ -1,0 +1,50 @@
+"""repro.service — the long-lived co-execution service.
+
+A persistent, multi-tenant front end over the compiler and runtime:
+one shared artifact cache, one service-scoped health registry, a
+:class:`DevicePool` of simulated accelerator slots, and an
+:class:`AdmissionController` enforcing bounded per-tenant queues with
+deterministic weighted round-robin. See docs/SERVICE.md.
+"""
+
+from repro.service.admission import AdmissionController, TenantState
+from repro.service.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    Job,
+)
+from repro.service.pool import DevicePool, Lease
+from repro.service.service import (
+    SERVICE_SCHEMA,
+    CoExecutionService,
+    ServiceConfig,
+    render_service_report,
+    run_service_driver,
+    validate_service_file,
+    validate_service_report,
+)
+
+__all__ = [
+    "AdmissionController",
+    "TenantState",
+    "DevicePool",
+    "Lease",
+    "Job",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "COMPLETED",
+    "FAILED",
+    "CANCELLED",
+    "SERVICE_SCHEMA",
+    "CoExecutionService",
+    "ServiceConfig",
+    "run_service_driver",
+    "validate_service_report",
+    "validate_service_file",
+    "render_service_report",
+]

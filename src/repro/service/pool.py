@@ -1,0 +1,140 @@
+"""Shared device pools: N simulated accelerator slots leased per job.
+
+The co-execution service owns one :class:`DevicePool` holding a fixed
+number of slots per device *family* (``gpu``, ``fpga``). A job leases
+one slot from every family its substitution policy may offload to —
+all-or-nothing, so a job never runs with half its device set and the
+concurrent result stays bit-identical to the standalone run. Bytecode
+needs no lease: it is the always-available fallback (Section 4.1), so
+a job holding zero slots can still make progress.
+
+Leases are handles, not locks: the pool is thread-safe, releases are
+idempotent, and the occupancy gauges (``pool.occupancy[family]``)
+return to zero when every job has completed, failed, or been
+cancelled — the no-leaked-leases invariant the service tests pin.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import NULL_METRICS
+
+__all__ = ["DevicePool", "Lease"]
+
+
+class Lease:
+    """One job's hold on device slots (one slot per listed family)."""
+
+    __slots__ = ("lease_id", "families", "released")
+
+    def __init__(self, lease_id: str, families: tuple):
+        self.lease_id = lease_id
+        self.families = tuple(families)
+        self.released = False
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else "held"
+        return (
+            f"<Lease {self.lease_id} "
+            f"[{', '.join(self.families) or 'bytecode-only'}] {state}>"
+        )
+
+
+class DevicePool:
+    """Thread-safe slot accounting for the simulated device fleet."""
+
+    def __init__(self, slots: dict, metrics=None):
+        for family, count in slots.items():
+            if count < 0:
+                raise ConfigurationError(
+                    f"pool slots must be >= 0, got {family}={count}"
+                )
+        self.slots = dict(slots)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._lock = threading.Lock()
+        self._in_use = {family: 0 for family in self.slots}
+        self._peak = {family: 0 for family in self.slots}
+        self._ids = itertools.count(1)
+        # Lifetime tallies for the service report.
+        self.leases_granted = 0
+        self.leases_denied = 0
+        self.leases_released = 0
+
+    def _gauge(self, family: str) -> None:
+        self.metrics.gauge(f"pool.occupancy[{family}]").set(
+            self._in_use[family]
+        )
+
+    def capacity(self, family: str) -> int:
+        """Configured slots for a family (0 when absent)."""
+        return self.slots.get(family, 0)
+
+    def available(self, family: str) -> int:
+        with self._lock:
+            return self.slots.get(family, 0) - self._in_use.get(family, 0)
+
+    def acquire(self, families) -> "Lease | None":
+        """Lease one slot from every family in ``families`` — all or
+        nothing. Returns None (leaving the pool untouched) when any
+        family has no free slot. An empty request always succeeds: the
+        job runs bytecode-only and holds nothing."""
+        families = tuple(families)
+        with self._lock:
+            for family in families:
+                if family not in self.slots:
+                    raise ConfigurationError(
+                        f"pool has no {family!r} family "
+                        f"(configured: {sorted(self.slots)})"
+                    )
+                if self._in_use[family] >= self.slots[family]:
+                    self.leases_denied += 1
+                    return None
+            for family in families:
+                self._in_use[family] += 1
+                if self._in_use[family] > self._peak[family]:
+                    self._peak[family] = self._in_use[family]
+                self._gauge(family)
+            self.leases_granted += 1
+            return Lease(f"lease-{next(self._ids)}", families)
+
+    def release(self, lease: "Lease | None") -> None:
+        """Return a lease's slots. Idempotent and None-tolerant so the
+        job teardown path can call it unconditionally."""
+        if lease is None:
+            return
+        with self._lock:
+            if lease.released:
+                return
+            lease.released = True
+            self.leases_released += 1
+            for family in lease.families:
+                self._in_use[family] -= 1
+                self._gauge(family)
+
+    def occupancy(self) -> dict:
+        """Current slots-in-use per family."""
+        with self._lock:
+            return dict(self._in_use)
+
+    def snapshot(self) -> dict:
+        """The pool section of the ``repro.service/1`` report."""
+        with self._lock:
+            return {
+                "slots": dict(self.slots),
+                "in_use": dict(self._in_use),
+                "peak": dict(self._peak),
+                "granted": self.leases_granted,
+                "denied": self.leases_denied,
+                "released": self.leases_released,
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            used = ", ".join(
+                f"{family}={self._in_use[family]}/{self.slots[family]}"
+                for family in sorted(self.slots)
+            )
+        return f"<DevicePool {used}>"

@@ -1,0 +1,832 @@
+"""The long-lived co-execution service (docs/SERVICE.md).
+
+:class:`CoExecutionService` keeps the whole runtime stack alive across
+jobs: one :class:`~repro.compiler.CompilerSession` (sharing one
+artifact cache and an in-memory compile memo), one *service-scoped*
+:class:`~repro.runtime.health.HealthRegistry` (breaker state shared
+across jobs — a device quarantined by tenant A's failures is
+quarantined for tenant B too, and re-promotes for everyone), one
+:class:`~repro.service.pool.DevicePool` of simulated accelerator
+slots, and one :class:`~repro.service.admission.AdmissionController`
+enforcing bounded per-tenant queues with deterministic weighted
+round-robin dispatch.
+
+The API is ``submit / status / result / cancel / drain``. Each
+admitted job runs a full task-graph runtime on its own thread with its
+own interpreter, timing ledger, and fault injector — simulated time is
+per job, so concurrent execution is bit-identical to standalone
+execution — while device access is arbitrated by slot leases and the
+shared breakers.
+
+Degradation matrix (see docs/SERVICE.md):
+
+==================  =============================================
+Pool family full    job stays QUEUED; other tenants' heads tried
+Family breaker OPEN job dispatches *without* that family's lease;
+                    its spans run bytecode via the shared breaker,
+                    advancing the quarantine clock toward probing
+Deadline expired    job CANCELLED before it acquires any lease
+Cancel mid-run      cooperative stop at the next firing boundary;
+                    queues drained, threads joined, lease released
+==================  =============================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.backends.common import FPGA, GPU
+from repro.compiler import CompileOptions, CompilerSession
+from repro.errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    JobCancelledError,
+    LiquidMetalError,
+)
+from repro.obs.metrics import NULL_METRICS
+from repro.runtime.engine import Runtime, RuntimeConfig
+from repro.runtime.health import HealthRegistry
+from repro.service.admission import AdmissionController
+from repro.service.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    Job,
+)
+from repro.service.pool import DevicePool
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "ServiceConfig",
+    "CoExecutionService",
+    "validate_service_report",
+    "validate_service_file",
+    "render_service_report",
+    "run_service_driver",
+]
+
+#: Schema stamp for service reports.
+SERVICE_SCHEMA = "repro.service/1"
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one co-execution service instance."""
+
+    #: Simulated accelerator slots in the shared pool.
+    gpu_slots: int = 2
+    fpga_slots: int = 1
+    #: Concurrent jobs actually executing (threads), not queue depth.
+    max_running: int = 4
+    #: Per-tenant queued-job bound; over it, submit() rejects.
+    max_queue_depth: int = 8
+    #: Base runtime config every job derives from (scheduler, retry,
+    #: health policy, fault plan, tracer...). Per-job fields
+    #: (job_id/tenant/policy) are overridden at dispatch.
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: Compiler options for the service's shared CompilerSession
+    #: (point its CacheOptions at a cache_dir to share artifacts).
+    compile_options: "CompileOptions | None" = None
+    #: Wall clock used for job deadlines and retry-after estimates —
+    #: injectable so deadline tests are deterministic.
+    clock: object = time.monotonic
+
+    def __post_init__(self):
+        if self.gpu_slots < 0 or self.fpga_slots < 0:
+            raise ConfigurationError("pool slots must be >= 0")
+        if self.max_running < 1:
+            raise ConfigurationError(
+                f"max_running must be >= 1, got {self.max_running}"
+            )
+        if self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, "
+                f"got {self.max_queue_depth}"
+            )
+
+
+class CoExecutionService:
+    """A persistent, multi-tenant front end over the runtime stack."""
+
+    def __init__(self, config: "ServiceConfig | None" = None):
+        self.config = config or ServiceConfig()
+        self.tracer = self.config.runtime.tracer
+        self.metrics = getattr(self.tracer, "metrics", NULL_METRICS)
+        self.session = CompilerSession(self.config.compile_options)
+        # Service-scoped health: one registry for every job's runtime.
+        self.health = HealthRegistry(
+            self.config.runtime.health, tracer=self.tracer
+        )
+        self.pool = DevicePool(
+            {GPU: self.config.gpu_slots, FPGA: self.config.fpga_slots},
+            metrics=self.metrics,
+        )
+        self.admission = AdmissionController(
+            self.config.max_queue_depth, metrics=self.metrics
+        )
+        self._lock = threading.RLock()
+        self._jobs: dict = {}       # job_id -> Job (insertion-ordered)
+        self._threads: list = []
+        self._seq = 0
+        self._running = 0
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "CoExecutionService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()
+
+    # -- tenants -----------------------------------------------------------
+
+    def register_tenant(self, name: str, weight: int = 1) -> None:
+        """Register a tenant (or change its weight). Submissions for
+        unregistered tenants are auto-registered at weight 1."""
+        self.admission.register(name, weight)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        source: str,
+        entry: str,
+        args: "list | None" = None,
+        *,
+        tenant: str,
+        app: str = "",
+        filename: str = "<lime>",
+        deadline_s: "float | None" = None,
+    ) -> str:
+        """Admit one job. Returns its job id, or raises the typed
+        :class:`~repro.errors.AdmissionRejected` when the tenant's
+        queue is at its bound (or the service is draining)."""
+        counters = self.tracer.counters
+        with self._lock:
+            if self._draining:
+                counters.add("service.reject")
+                raise AdmissionRejected(
+                    "service is draining; not admitting new jobs",
+                    tenant=tenant,
+                    queue_depth=self.admission.queue_depth(tenant),
+                    retry_after_s=self.admission.retry_after_hint_s(
+                        tenant
+                    ),
+                    reason="draining",
+                )
+            if tenant not in (t.name for t in self.admission.tenants()):
+                self.admission.register(tenant, 1)
+            self._seq += 1
+            job = Job(
+                job_id=f"job-{self._seq:04d}",
+                tenant=tenant,
+                source=source,
+                entry=entry,
+                args=args,
+                app=app,
+                filename=filename,
+                deadline_s=deadline_s,
+                clock=self.config.clock,
+            )
+            try:
+                self.admission.enqueue(tenant, job)
+            except AdmissionRejected:
+                counters.add("service.reject")
+                counters.add(f"service.reject[{tenant}]")
+                raise
+            self._jobs[job.job_id] = job
+        # Compile up front (memoized across jobs) so dispatch knows
+        # which device families this program can actually use — a
+        # gpu-only job must not hold the fpga slot. Compile failures
+        # are captured, not raised: the job fails typed when it runs.
+        try:
+            compiled = self.session.compile_cached(
+                source, filename=filename
+            )
+        except LiquidMetalError as exc:
+            job.compile_error = exc
+        else:
+            job.device_families = tuple(
+                family
+                for family in self.config.runtime.policy.device_order
+                if compiled.store.for_device(family)
+            )
+        counters.add("service.admit")
+        counters.add(f"service.admit[{tenant}]")
+        with self.tracer.span(
+            "service.job.submit",
+            job_id=job.job_id,
+            tenant=tenant,
+            app=job.app,
+            deadline_s=deadline_s,
+        ):
+            pass
+        self._dispatch()
+        return job.job_id
+
+    # -- inspection --------------------------------------------------------
+
+    def _job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ConfigurationError(f"unknown job id {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> dict:
+        """A point-in-time row for one job (state, tenant, leases,
+        error if any)."""
+        return self._job(job_id).describe()
+
+    def result(self, job_id: str, timeout_s: "float | None" = None):
+        """Block until the job finishes; return its
+        :class:`~repro.runtime.engine.RunOutcome` or re-raise the
+        job's typed error (FAILED and CANCELLED both raise)."""
+        job = self._job(job_id)
+        if not job.done.wait(timeout_s):
+            raise TimeoutError(
+                f"job {job_id} still {job.state} after {timeout_s}s"
+            )
+        if job.state == COMPLETED:
+            return job.outcome
+        if job.error is not None:
+            raise job.error
+        raise ConfigurationError(
+            f"job {job_id} finished in state {job.state!r} "
+            f"without an error record"
+        )
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, job_id: str, reason: str = "cancelled") -> str:
+        """Cancel a job. A queued job is removed immediately; a
+        running job's token is tripped and its runtime unwinds at the
+        next firing boundary (queues drained, lease released). Returns
+        the job's state after the attempt (finished jobs are left
+        alone)."""
+        job = self._job(job_id)
+        with self._lock:
+            if job.state == QUEUED and self.admission.remove(job):
+                job.token.cancel(reason)
+                self._finish_unrun(job)
+                return job.state
+        if job.state == RUNNING:
+            job.token.cancel(reason)
+        return job.state
+
+    def _finish_unrun(self, job: Job) -> None:
+        """Finish a job that never ran (cancelled or deadline-expired
+        while queued): record the typed error, count it, wake waiters.
+        Caller holds the lock or owns the job."""
+        try:
+            job.token.check()
+        except JobCancelledError as exc:
+            job.error = exc
+        job.state = CANCELLED
+        counters = self.tracer.counters
+        counters.add("service.job.cancelled")
+        counters.add(f"service.job.cancelled[{job.tenant}]")
+        job.done.set()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _lease_request(self, job: Job) -> tuple:
+        """Device families this job should lease: every family its
+        compiled program has artifacts for that has configured slots —
+        minus any family with an OPEN breaker (graceful degradation:
+        the job runs, its spans fall back to bytecode through the
+        shared breakers, and the quarantine clock keeps advancing so
+        the family can re-promote)."""
+        if not self.config.runtime.policy.use_accelerators:
+            return ()
+        return tuple(
+            family
+            for family in job.device_families
+            if self.pool.capacity(family) > 0
+            and not self.health.family_open(family)
+        )
+
+    def _dispatch(self) -> None:
+        """Fill free running slots from the tenant queues (smooth WRR
+        order). A head job whose lease cannot be granted is requeued
+        at the front and its tenant skipped for the rest of the round,
+        so one starved tenant never blocks the others."""
+        to_start: list = []
+        with self._lock:
+            tried: set = set()
+            while self._running + len(to_start) < self.config.max_running:
+                job = self.admission.next_job(exclude=tried)
+                if job is None:
+                    break
+                if job.token.cancelled():
+                    # Deadline expired (or cancel raced the queue):
+                    # finish it before it ever takes a lease.
+                    self._finish_unrun(job)
+                    continue
+                lease = self.pool.acquire(self._lease_request(job))
+                if lease is None:
+                    self.admission.requeue_front(job)
+                    tried.add(job.tenant)
+                    continue
+                job.lease = lease
+                job.leased_families = lease.families
+                job.state = RUNNING
+                to_start.append(job)
+            self._running += len(to_start)
+            for job in to_start:
+                thread = threading.Thread(
+                    target=self._run_job,
+                    args=(job,),
+                    name=f"svc-{job.job_id}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def _runtime_config(self, job: Job) -> RuntimeConfig:
+        base = self.config.runtime
+        families = tuple(
+            family
+            for family in base.policy.device_order
+            if self.pool.capacity(family) > 0
+        )
+        # The job keeps OPEN families in its policy: the shared
+        # breakers mediate every batch, serving bytecode while OPEN
+        # and shadow-probing in HALF_OPEN — that is how a quarantined
+        # family re-promotes across jobs.
+        policy = dataclasses.replace(base.policy, device_order=families)
+        return base.with_overrides(
+            policy=policy, job_id=job.job_id, tenant=job.tenant
+        )
+
+    def _run_job(self, job: Job) -> None:
+        counters = self.tracer.counters
+        start_wall = time.perf_counter()
+        runtime = None
+        try:
+            with self.tracer.span(
+                "service.job.run",
+                job_id=job.job_id,
+                tenant=job.tenant,
+                app=job.app,
+                leased=",".join(job.leased_families),
+            ) as span:
+                if job.compile_error is not None:
+                    raise job.compile_error
+                compiled = self.session.compile_cached(
+                    job.source, filename=job.filename
+                )
+                runtime = Runtime(
+                    compiled,
+                    self._runtime_config(job),
+                    health_registry=self.health,
+                    cancel_token=job.token,
+                )
+                outcome = runtime.run(job.entry, job.args)
+                job.outcome = outcome
+                job.state = COMPLETED
+                span.set(
+                    state=COMPLETED, simulated_s=outcome.ledger.total_s
+                )
+            counters.add("service.job.completed")
+            counters.add(f"service.job.completed[{job.tenant}]")
+        except JobCancelledError as exc:
+            job.error = exc
+            job.state = CANCELLED
+            counters.add("service.job.cancelled")
+            counters.add(f"service.job.cancelled[{job.tenant}]")
+        except LiquidMetalError as exc:
+            job.error = exc
+            job.state = FAILED
+            counters.add("service.job.failed")
+            counters.add(f"service.job.failed[{job.tenant}]")
+        except BaseException as exc:  # defensive: never hang a waiter
+            job.error = exc
+            job.state = FAILED
+            counters.add("service.job.failed")
+        finally:
+            if runtime is not None:
+                # Drain any wreckage a cancellation left behind, then
+                # detach the runtime's listener from the shared
+                # registry.
+                runtime.shutdown_active()
+                runtime.close()
+            self.pool.release(job.lease)
+            job.wall_s = time.perf_counter() - start_wall
+            self.admission.observe_duration(job.wall_s)
+            with self._lock:
+                self._running -= 1
+            job.done.set()
+            self._dispatch()
+
+    # -- drain -------------------------------------------------------------
+
+    def drain(self, timeout_s: "float | None" = 60.0) -> dict:
+        """Stop admitting, finish (or time out on) every job already
+        admitted, join worker threads, and return the final service
+        report."""
+        with self._lock:
+            self._draining = True
+            jobs = list(self._jobs.values())
+        self._dispatch()
+        deadline = (
+            None if timeout_s is None
+            else time.perf_counter() + timeout_s
+        )
+        for job in jobs:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.perf_counter())
+            )
+            if not job.done.wait(remaining):
+                raise TimeoutError(
+                    f"drain timed out waiting on {job.job_id} "
+                    f"({job.state})"
+                )
+        for thread in list(self._threads):
+            thread.join(1.0)
+        return self.to_report()
+
+    # -- report ------------------------------------------------------------
+
+    def to_report(self) -> dict:
+        """The machine-readable service report (``repro.service/1``)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+            running = self._running
+        rows = [job.describe() for job in jobs]
+        by_state = {state: 0 for state in JOB_STATES}
+        for row in rows:
+            by_state[row["state"]] += 1
+        by_tenant: dict = {}
+        for row in rows:
+            slot = by_tenant.setdefault(
+                row["tenant"], {state: 0 for state in JOB_STATES}
+            )
+            slot[row["state"]] += 1
+        tenants = []
+        for tenant_row in self.admission.snapshot():
+            counts = by_tenant.get(
+                tenant_row["tenant"], {state: 0 for state in JOB_STATES}
+            )
+            tenants.append({**tenant_row, **{
+                "completed": counts[COMPLETED],
+                "failed": counts[FAILED],
+                "cancelled": counts[CANCELLED],
+            }})
+        health_totals = self.health.to_report()["totals"]
+        cfg = self.config
+        return {
+            "schema": SERVICE_SCHEMA,
+            "config": {
+                "gpu_slots": cfg.gpu_slots,
+                "fpga_slots": cfg.fpga_slots,
+                "max_running": cfg.max_running,
+                "max_queue_depth": cfg.max_queue_depth,
+                "scheduler": cfg.runtime.scheduler,
+            },
+            "tenants": tenants,
+            "jobs": rows,
+            "pool": self.pool.snapshot(),
+            "admission": {
+                "admitted": self.admission.total_admitted,
+                "rejected": self.admission.total_rejected,
+            },
+            "health": health_totals,
+            "totals": {
+                "jobs": len(rows),
+                "running": running,
+                **by_state,
+            },
+        }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"<CoExecutionService jobs={len(self._jobs)} "
+                f"running={self._running} "
+                f"draining={self._draining}>"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Report validation / rendering (the profile/health report pattern)
+# ---------------------------------------------------------------------------
+
+_REPORT_KEYS = (
+    "schema", "config", "tenants", "jobs", "pool", "admission",
+    "health", "totals",
+)
+_JOB_KEYS = ("job_id", "tenant", "app", "entry", "state", "leased")
+_TENANT_KEYS = (
+    "tenant", "weight", "queued", "submitted", "admitted", "rejected",
+    "completed", "failed", "cancelled",
+)
+
+
+def validate_service_report(payload) -> list:
+    """Schema check for a ``repro.service/1`` report; returns problem
+    strings (empty = valid)."""
+    problems: list = []
+    if not isinstance(payload, dict):
+        return [f"report must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != SERVICE_SCHEMA:
+        problems.append(
+            f"schema must be {SERVICE_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    for key in _REPORT_KEYS:
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+    jobs = payload.get("jobs", [])
+    if not isinstance(jobs, list):
+        problems.append("jobs must be a list")
+        jobs = []
+    for index, row in enumerate(jobs):
+        where = f"jobs[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key in _JOB_KEYS:
+            if key not in row:
+                problems.append(f"{where} missing key {key!r}")
+        if row.get("state") not in JOB_STATES:
+            problems.append(
+                f"{where} has unknown state {row.get('state')!r}"
+            )
+        if row.get("state") in (FAILED, CANCELLED):
+            error = row.get("error")
+            if not isinstance(error, dict) or "type" not in error:
+                problems.append(
+                    f"{where} is {row.get('state')} but has no typed "
+                    f"error record"
+                )
+    for index, row in enumerate(payload.get("tenants", []) or []):
+        where = f"tenants[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key in _TENANT_KEYS:
+            if key not in row:
+                problems.append(f"{where} missing key {key!r}")
+    totals = payload.get("totals")
+    if isinstance(totals, dict):
+        if totals.get("jobs") != len(jobs):
+            problems.append("totals.jobs disagrees with the jobs list")
+        counted = sum(
+            totals.get(state, 0) for state in JOB_STATES
+        )
+        if counted != len(jobs):
+            problems.append(
+                "totals per-state counts do not sum to totals.jobs"
+            )
+    elif "totals" in payload:
+        problems.append("totals must be an object")
+    pool = payload.get("pool")
+    if isinstance(pool, dict):
+        in_use = pool.get("in_use", {})
+        quiescent = (
+            isinstance(totals, dict)
+            and totals.get("running", 0) == 0
+            and totals.get(QUEUED, 0) == 0
+        )
+        if quiescent and any(v != 0 for v in in_use.values()):
+            problems.append(
+                f"leaked device leases: pool.in_use={in_use} with no "
+                f"running or queued jobs"
+            )
+    elif "pool" in payload:
+        problems.append("pool must be an object")
+    return problems
+
+
+def validate_service_file(path: str) -> dict:
+    """Load and validate a service report; raises on problems."""
+    import json
+
+    with open(path) as f:
+        payload = json.load(f)
+    problems = validate_service_report(payload)
+    if problems:
+        raise ConfigurationError(
+            f"service report {path} is invalid: " + "; ".join(problems)
+        )
+    return payload
+
+
+def render_service_report(report: dict) -> str:
+    """The human-readable form of a service report (CLI default)."""
+    lines = []
+    cfg = report.get("config", {})
+    lines.append(
+        "co-execution service — {s} scheduler, pool gpu={g} fpga={f}, "
+        "max_running={r}, queue_depth<={q}".format(
+            s=cfg.get("scheduler", "?"),
+            g=cfg.get("gpu_slots", "?"),
+            f=cfg.get("fpga_slots", "?"),
+            r=cfg.get("max_running", "?"),
+            q=cfg.get("max_queue_depth", "?"),
+        )
+    )
+    lines.append("")
+    for row in report.get("tenants", []):
+        lines.append(
+            "tenant {t} (w={w}): submitted={s} admitted={a} "
+            "rejected={j} completed={c} failed={f} cancelled={x}".format(
+                t=row.get("tenant"),
+                w=row.get("weight"),
+                s=row.get("submitted"),
+                a=row.get("admitted"),
+                j=row.get("rejected"),
+                c=row.get("completed"),
+                f=row.get("failed"),
+                x=row.get("cancelled"),
+            )
+        )
+    lines.append("")
+    for row in report.get("jobs", []):
+        extra = ""
+        if "simulated_s" in row:
+            extra = f"  {row['simulated_s'] * 1e3:.6g}ms"
+        if "error" in row:
+            extra = f"  {row['error']['type']}: {row['error']['message']}"
+        lines.append(
+            f"{row['job_id']}  {row['tenant']:<6} {row['app']:<16} "
+            f"[{row['state'].upper()}]{extra}"
+        )
+    pool = report.get("pool", {})
+    lines.append("")
+    lines.append(
+        "pool: slots={slots} peak={peak} in_use={in_use} "
+        "granted={granted} denied={denied}".format(
+            slots=pool.get("slots"),
+            peak=pool.get("peak"),
+            in_use=pool.get("in_use"),
+            granted=pool.get("granted"),
+            denied=pool.get("denied"),
+        )
+    )
+    totals = report.get("totals", {})
+    health = report.get("health", {})
+    lines.append(
+        "totals: {n} job(s) — {c} completed, {f} failed, {x} cancelled; "
+        "admission {a} admitted / {r} rejected; health: {b} breaker(s), "
+        "{t} trip(s), {p} re-promotion(s)".format(
+            n=totals.get("jobs", 0),
+            c=totals.get(COMPLETED, 0),
+            f=totals.get(FAILED, 0),
+            x=totals.get(CANCELLED, 0),
+            a=report.get("admission", {}).get("admitted", 0),
+            r=report.get("admission", {}).get("rejected", 0),
+            b=health.get("breakers", 0),
+            t=health.get("trips", 0),
+            p=health.get("repromotions", 0),
+        )
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic multi-tenant driver (CLI `serve` / make serve-smoke)
+# ---------------------------------------------------------------------------
+
+#: Apps the driver cycles through — light, deterministic workloads
+#: spanning stream/map/reduce flavors and both device families.
+DRIVER_APPS = (
+    "bitflip",
+    "gray_pipeline",
+    "parity",
+    "crc8",
+    "running_sum",
+    "saxpy",
+    "vector_sum",
+    "convolution",
+)
+
+
+def run_service_driver(
+    tenants: int = 3,
+    jobs_per_tenant: int = 8,
+    gpu_slots: int = 2,
+    fpga_slots: int = 1,
+    max_running: int = 4,
+    max_queue_depth: int = 8,
+    scheduler: str = "sequential",
+    fault_plan=None,
+    stage_timeout_s: "float | None" = 10.0,
+    verify: bool = False,
+    tracer=None,
+) -> dict:
+    """Drive a service deterministically: ``tenants`` tenants (weights
+    cycling 1,2,3) each submit ``jobs_per_tenant`` jobs cycling over
+    :data:`DRIVER_APPS`, then the service drains. Saturation is
+    handled honestly: an :class:`AdmissionRejected` submission waits
+    for this tenant's oldest unfinished job and retries.
+
+    With ``verify=True`` every completed job is compared against a
+    standalone fault-free run of the same app on the same scheduler:
+    values and printed output must match bit-identically, and — when
+    the driver itself runs fault-free — simulated seconds too. The
+    returned ``repro.service/1`` report gains a ``driver`` section
+    with the verification tally; mismatches raise.
+    """
+    from repro.apps import SUITE, workloads
+
+    runtime = RuntimeConfig(
+        scheduler=scheduler,
+        fault_plan=fault_plan,
+        stage_timeout_s=(
+            stage_timeout_s if scheduler == "threaded" else None
+        ),
+    )
+    if tracer is not None:
+        runtime = runtime.with_overrides(tracer=tracer)
+    service = CoExecutionService(ServiceConfig(
+        gpu_slots=gpu_slots,
+        fpga_slots=fpga_slots,
+        max_running=max_running,
+        max_queue_depth=max_queue_depth,
+        runtime=runtime,
+    ))
+    for i in range(tenants):
+        service.register_tenant(f"t{i}", weight=(i % 3) + 1)
+
+    submitted: list = []        # (job_id, app, tenant)
+    pending_by_tenant: dict = {f"t{i}": [] for i in range(tenants)}
+    cycle = 0
+    for _ in range(jobs_per_tenant):
+        for i in range(tenants):
+            tenant = f"t{i}"
+            app = DRIVER_APPS[cycle % len(DRIVER_APPS)]
+            cycle += 1
+            entry, args = workloads.small_args(app)
+            while True:
+                try:
+                    job_id = service.submit(
+                        SUITE[app].source,
+                        entry,
+                        args,
+                        tenant=tenant,
+                        app=app,
+                        filename=f"<{app}.lime>",
+                    )
+                    submitted.append((job_id, app, tenant))
+                    pending_by_tenant[tenant].append(job_id)
+                    break
+                except AdmissionRejected:
+                    # Honest backpressure: wait out the oldest job we
+                    # have in flight for this tenant, then retry.
+                    waiting = pending_by_tenant[tenant]
+                    if not waiting:
+                        raise
+                    service.result(waiting.pop(0), timeout_s=60.0)
+
+    report = service.drain()
+
+    if verify:
+        solo_cache: dict = {}
+        checked = 0
+        for job_id, app, _tenant in submitted:
+            outcome = service.result(job_id)
+            if app not in solo_cache:
+                entry, args = workloads.small_args(app)
+                compiled = service.session.compile_cached(
+                    SUITE[app].source, filename=f"<{app}.lime>"
+                )
+                solo = Runtime(
+                    compiled, RuntimeConfig(scheduler=scheduler)
+                ).run(entry, args)
+                solo_cache[app] = solo
+            solo = solo_cache[app]
+            if repr(outcome.value) != repr(solo.value):
+                raise LiquidMetalError(
+                    f"{job_id} ({app}): concurrent value diverged "
+                    f"from the standalone run"
+                )
+            if outcome.output != solo.output:
+                raise LiquidMetalError(
+                    f"{job_id} ({app}): concurrent output diverged "
+                    f"from the standalone run"
+                )
+            if fault_plan is None and (
+                outcome.ledger.total_s != solo.ledger.total_s
+            ):
+                raise LiquidMetalError(
+                    f"{job_id} ({app}): simulated seconds diverged "
+                    f"({outcome.ledger.total_s} != "
+                    f"{solo.ledger.total_s})"
+                )
+            checked += 1
+        report["driver"] = {
+            "verified_jobs": checked,
+            "apps": sorted(solo_cache),
+            "timing_checked": fault_plan is None,
+        }
+    return report

@@ -347,3 +347,40 @@ class TestProfileCommand:
         )
         assert code == 2
         assert "cannot load baseline" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_writes_valid_report(self, tmp_path, capsys):
+        from repro.service import validate_service_file
+
+        out = tmp_path / "serve.json"
+        code = main([
+            "serve", "--tenants", "2", "--jobs-per-tenant", "2",
+            "--scheduler", "sequential", "--verify", "-o", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "co-execution service" in text
+        assert "bit-identical" in text
+        report = validate_service_file(str(out))
+        assert report["totals"]["completed"] == 4
+
+    def test_serve_json_output_is_parseable(self, capsys):
+        import json
+
+        code = main([
+            "serve", "--tenants", "1", "--jobs-per-tenant", "1",
+            "--scheduler", "sequential", "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.service/1"
+
+    def test_serve_under_fault_plan(self, capsys):
+        code = main([
+            "serve", "--tenants", "2", "--jobs-per-tenant", "2",
+            "--scheduler", "sequential", "--verify",
+            "--plan", "examples/fault_plans/transient_gpu_window.json",
+        ])
+        assert code == 0
+        assert "timing exempt" in capsys.readouterr().out

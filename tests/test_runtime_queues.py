@@ -1,6 +1,7 @@
 """Unit tests for FIFO connections and the runtime task classes."""
 
 import threading
+import time
 
 import pytest
 
@@ -215,3 +216,96 @@ class TestSourceSinkTasks:
         a = SourceTask(ValueArray(KIND_INT, [1]), 1)
         b = SourceTask(ValueArray(KIND_INT, [1]), 1)
         assert a.task_id != b.task_id
+
+
+class TestDrainBounded:
+    def test_returns_abandoned_items_and_appends_eos(self):
+        conn = Connection(capacity=8)
+        for i in range(5):
+            conn.put(i)
+        abandoned = conn.drain_bounded()
+        assert abandoned == [0, 1, 2, 3, 4]
+        # A sentinel is left behind so any blocked consumer wakes up.
+        assert conn.get() is END_OF_STREAM
+
+    def test_empty_queue_still_gets_sentinel(self):
+        conn = Connection(capacity=2)
+        assert conn.drain_bounded() == []
+        assert conn.get() is END_OF_STREAM
+
+    def test_unblocks_a_producer_stuck_on_a_full_queue(self):
+        # The deadlock satellite: a producer blocked in put() on a
+        # full FIFO whose consumer died must be released by the
+        # scheduler's shutdown drain.
+        conn = Connection(capacity=1)
+        conn.put("seed")
+        unblocked = threading.Event()
+
+        def producer():
+            conn.put("stuck")   # blocks until the drain empties it
+            unblocked.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        drained = []
+        while not unblocked.is_set():
+            drained.extend(conn.drain_bounded())
+            if time.monotonic() > deadline:
+                break
+        assert unblocked.is_set()
+        thread.join(2.0)
+        assert not thread.is_alive()
+        assert "seed" in drained
+
+    def test_excludes_eos_from_abandoned_items(self):
+        conn = Connection(capacity=8)
+        conn.put(1)
+        conn.close()
+        abandoned = conn.drain_bounded()
+        assert abandoned == [1]
+
+
+class TestCancelMidStageShutdown:
+    def test_threaded_cancel_drains_and_joins(self):
+        """A job cancelled mid-stage on the threaded scheduler must
+        drain its Connections and join worker threads — not deadlock
+        on a full queue (the pre-PR hazard: a failed stage blocking in
+        output_conn.close())."""
+        from repro.apps import compile_app, workloads
+        from repro.errors import JobCancelledError
+        from repro.runtime.cancel import CancelToken
+        from repro.runtime.engine import Runtime, RuntimeConfig
+
+        class TripOnThirdPoll(CancelToken):
+            def __init__(self):
+                super().__init__(job_id="job-q", tenant="t")
+                self._polls = 0
+
+            def cancelled(self):
+                self._polls += 1
+                if self._polls > 3:
+                    self.cancel()
+                return super().cancelled()
+
+        compiled = compile_app("gray_pipeline")
+        runtime = Runtime(
+            compiled,
+            RuntimeConfig(scheduler="threaded"),
+            cancel_token=TripOnThirdPoll(),
+        )
+        entry, args = workloads.small_args("gray_pipeline")
+        before = threading.active_count()
+        with pytest.raises(JobCancelledError) as excinfo:
+            runtime.run(entry, args)
+        assert excinfo.value.job_id == "job-q"
+        assert runtime.shutdown_active(timeout_s=2.0)
+        # Give daemonic workers a beat to exit, then confirm none of
+        # the pipeline's threads are wedged in put()/close().
+        deadline = time.monotonic() + 2.0
+        while (
+            threading.active_count() > before
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert threading.active_count() <= before
