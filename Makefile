@@ -14,12 +14,15 @@ test: trace-smoke fault-smoke profile-smoke health-smoke harvest-smoke \
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -m ""
 
-# Fast marshaling-throughput benchmark: produces
-# benchmarks/out/BENCH_marshal.json and enforces the >=2x batched
-# throughput bar (docs/PERFORMANCE.md) without the slow variants.
+# Fast marshaling/fusion/cache benchmarks: produce
+# benchmarks/out/BENCH_marshal.json (>=2x batched throughput bar,
+# docs/PERFORMANCE.md) and benchmarks/out/BENCH_fusion.json (>=2x
+# fused device-path speedup with strictly fewer boundary crossings,
+# docs/FUSION.md) without the slow variants.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_marshal_batch.py \
+		benchmarks/test_bench_fusion.py \
 		benchmarks/test_bench_artifact_cache.py \
 		--benchmark-disable -q
 

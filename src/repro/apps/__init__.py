@@ -137,6 +137,13 @@ SUITE = {
         "map",
         "3x3 Sobel edge detection over a broadcast image",
     ),
+    "photo_pipeline": AppSpec(
+        "photo_pipeline",
+        programs.PHOTO_PIPELINE,
+        workloads.photo_pipeline_args,
+        "map",
+        "chained brighten+clamp map pair (map-fusable)",
+    ),
 }
 
 _COMPILE_CACHE: dict = {}

@@ -377,6 +377,21 @@ public class Sobel {
 }
 """
 
+PHOTO_PIPELINE = """
+public class Photo {
+    local static int brighten(int p) {
+        return p * 2 + 16;
+    }
+    local static int clamp8(int p) {
+        return p > 255 ? 255 : (p < 0 ? 0 : p);
+    }
+    static int[[]] develop(int[[]] pixels) {
+        var bright = Photo @ brighten(pixels);
+        return Photo @ clamp8(bright);
+    }
+}
+"""
+
 ALL_SOURCES = {
     "bitflip": FIGURE1_BITFLIP,
     "saxpy": SAXPY,
@@ -394,4 +409,5 @@ ALL_SOURCES = {
     "hybrid": HYBRID,
     "running_sum": RUNNING_SUM,
     "sobel": SOBEL,
+    "photo_pipeline": PHOTO_PIPELINE,
 }

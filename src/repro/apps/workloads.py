@@ -158,6 +158,10 @@ def running_sum_args(n: int = 128):
     return "RunningSum.compute", [int_array(n, -50, 50, 95)]
 
 
+def photo_pipeline_args(n: int = 256):
+    return "Photo.develop", [int_array(n, 0, 200, 87)]
+
+
 def sobel_args(width: int = 48, height: int = 32):
     n = width * height
     return "Sobel.edges", [
@@ -188,6 +192,7 @@ SMALL = {
     "hybrid": lambda: hybrid_args(96, 48),
     "running_sum": lambda: running_sum_args(48),
     "sobel": lambda: sobel_args(12, 8),
+    "photo_pipeline": lambda: photo_pipeline_args(128),
 }
 
 

@@ -262,6 +262,10 @@ _MODELED_COMPILE = {
     "bytecode": (400e-6, 50e-6, 0.0),
     "opencl": (8e-3, 15e-3, 4e-6),
     "verilog": (120e-3, 1.8, 90e-6),
+    # Runtime kernel specialization re-JITs one already-generated
+    # kernel with guards baked in: cheaper than a full OpenCL backend
+    # run but still a driver round trip (docs/FUSION.md).
+    "specialize": (4e-3, 6e-3, 2e-6),
 }
 
 #: Modeled warm-load cost: fixed open/validate latency per entry plus

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro profile  mandelbrot           # utilization + critical path
     python -m repro harvest  --cache-dir d/       # AOT-populate the cache
     python -m repro cache    stats --cache-dir d/ # cache maintenance
+    python -m repro fuse     gray_pipeline        # plan task fusion
     python -m repro markers  prog.lime            # IDE-style marker view
     python -m repro graphs   prog.lime            # discovered task graphs
     python -m repro disas    prog.lime            # bytecode disassembly
@@ -26,6 +27,16 @@ disables cache I/O even when a directory is given, and
 ``--cache-max-bytes`` bounds the on-disk size (LRU eviction).
 ``harvest`` pre-populates a cache for the whole app suite; ``cache
 {stats,purge,verify}`` inspect and maintain one.
+
+``run``, ``trace``, and ``profile`` accept ``--fusion
+{off,auto,plan=FILE}`` (docs/FUSION.md): ``off`` forces the honest
+unfused baseline (every stage crosses the marshaling boundary on its
+own), ``auto`` fuses every legal group at compile time and lets the
+runtime substitute whole-span artifacts, and ``plan=FILE`` replays a
+saved ``repro.fusion/1`` plan deterministically. ``fuse`` plans fusion
+for an app (optionally gated by a ``profile`` report) and saves the
+plan. ``--specialize-after N`` opts into runtime kernel
+specialization after N stable batches.
 
 ``trace`` accepts either a suite app name (see ``repro.apps.SUITE``)
 or a Lime file plus ``--entry``; it compiles and runs under a live
@@ -51,6 +62,7 @@ from repro.compiler import (
     compile_report,
 )
 from repro.errors import LiquidMetalError
+from repro.ir.fusion import FusionOptions
 
 
 def _parse_value(text: str):
@@ -117,7 +129,32 @@ def _options(args, tracer=None) -> CompileOptions:
         options = options.replace(cache=cache)
     if tracer is not None:
         options = options.replace(tracer=tracer)
+    flag = getattr(args, "fusion", None)
+    if flag is not None:
+        options = options.replace(fusion=FusionOptions.from_flag(flag))
     return options
+
+
+def _runtime_fusion_kwargs(args) -> dict:
+    """RuntimeConfig keyword arguments the fusion/specialization flags
+    describe. With no ``--fusion`` the runtime keeps its historical
+    default (``auto``: substitute any multi-stage artifact); ``off``
+    makes the runtime reject fused spans too, so the baseline is
+    honestly unfused; ``plan=FILE`` restricts fused substitutions to
+    the spans the replayed plan sanctions (the plan object itself rides
+    in on ``CompileResult.fusion_plan``)."""
+    kwargs = {}
+    flag = getattr(args, "fusion", None)
+    if flag is not None:
+        kwargs["fusion"] = FusionOptions.from_flag(flag).mode
+    observe = getattr(args, "specialize_after", None)
+    if observe is not None:
+        from repro.runtime import SpecializationPolicy
+
+        kwargs["specialize"] = SpecializationPolicy(
+            enabled=True, observe_batches=observe
+        )
+    return kwargs
 
 
 def _session(args, tracer=None) -> CompilerSession:
@@ -141,7 +178,12 @@ def _cmd_run(args) -> int:
     compiled = _compiled(args)
     policy = SubstitutionPolicy(use_accelerators=not args.cpu_only)
     runtime = Runtime(
-        compiled, RuntimeConfig(policy=policy, batch_size=args.batch_size)
+        compiled,
+        RuntimeConfig(
+            policy=policy,
+            batch_size=args.batch_size,
+            **_runtime_fusion_kwargs(args),
+        ),
     )
     values = [_parse_value(a) for a in args.args]
     outcome = runtime.run(args.entry, values)
@@ -228,6 +270,7 @@ def _cmd_trace(args) -> int:
         scheduler=args.scheduler,
         tracer=tracer,
         batch_size=args.batch_size,
+        **_runtime_fusion_kwargs(args),
     )
     outcome = Runtime(compiled, config).run(entry, values)
     out_path = args.out or f"{name}.trace.json"
@@ -292,6 +335,7 @@ def _cmd_profile(args) -> int:
         scheduler=args.scheduler,
         tracer=tracer,
         batch_size=args.batch_size,
+        **_runtime_fusion_kwargs(args),
     )
     outcome = Runtime(compiled, config).run(entry, values)
     report = build_profile(
@@ -638,6 +682,54 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_fuse(args) -> int:
+    """Plan (and apply) task fusion for one app and print or save the
+    ``repro.fusion/1`` plan (docs/FUSION.md). With ``--profile`` the
+    pass only fuses groups the profile report shows actually offload;
+    the rejects are recorded in the plan with their reasons."""
+    import os
+
+    from repro.ir.fusion import render_fused_ir
+
+    if os.path.exists(args.target) or args.target.endswith(".lime"):
+        with open(args.target) as f:
+            source = f.read()
+        filename = args.target
+    else:
+        from repro.apps import SUITE
+
+        if args.target not in SUITE:
+            known = ", ".join(sorted(SUITE))
+            print(
+                f"error: {args.target!r} is neither a file nor a suite "
+                f"app (known apps: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        spec = SUITE[args.target]
+        source, filename = spec.source, f"<{spec.name}.lime>"
+
+    options = _options(args).replace(
+        fusion=FusionOptions(
+            mode="auto", profile_path=args.profile or ""
+        )
+    )
+    compiled = CompilerSession(options).compile(source, filename=filename)
+    plan = compiled.fusion_plan
+    if args.out:
+        plan.save(args.out)
+    if args.json:
+        sys.stdout.write(plan.dumps())
+    else:
+        print(plan.describe())
+        if args.ir:
+            print()
+            print(render_fused_ir(compiled.module, plan))
+        if args.out:
+            print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_format(args) -> int:
     from repro.lime import parse, pretty
 
@@ -878,6 +970,26 @@ def build_parser() -> argparse.ArgumentParser:
             "(1 = per-element slow path; see docs/PERFORMANCE.md)",
         )
 
+    def fusion_flags(p):
+        p.add_argument(
+            "--fusion",
+            default=None,
+            metavar="{off,auto,plan=FILE}",
+            help="task fusion: off = honest unfused baseline (every "
+            "stage crosses the boundary alone), auto = fuse every "
+            "legal group, plan=FILE = replay a saved repro.fusion/1 "
+            "plan (docs/FUSION.md); default keeps historical behavior",
+        )
+        p.add_argument(
+            "--specialize-after",
+            type=int,
+            default=None,
+            metavar="N",
+            help="recompile a shape/constant-specialized kernel "
+            "variant after N consecutive stable batches "
+            "(docs/FUSION.md); off by default",
+        )
+
     p = sub.add_parser("compile", help="compile and print the report")
     common(p)
     p.set_defaults(fn=_cmd_compile)
@@ -894,6 +1006,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-method cycle profile",
     )
     batch_size_option(p)
+    fusion_flags(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
@@ -932,6 +1045,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_flags(p)
     batch_size_option(p)
+    fusion_flags(p)
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -981,6 +1095,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_flags(p)
     batch_size_option(p)
+    fusion_flags(p)
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
@@ -1252,6 +1367,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop failing entries so the next compile repopulates them",
     )
     cp.set_defaults(fn=_cmd_cache_verify)
+
+    p = sub.add_parser(
+        "fuse",
+        help="plan task fusion for an app and print/save the "
+        "repro.fusion/1 plan (docs/FUSION.md)",
+    )
+    p.add_argument(
+        "target",
+        help="suite app name (e.g. gray_pipeline) or a Lime source file",
+    )
+    p.add_argument("--no-gpu", action="store_true")
+    p.add_argument("--no-fpga", action="store_true")
+    p.add_argument("--fpga-pipelined", action="store_true")
+    p.add_argument(
+        "--profile",
+        help="profile report JSON (python -m repro profile -o ...); "
+        "only groups the report shows offloading are fused, the rest "
+        "are recorded as rejected with reasons",
+    )
+    p.add_argument(
+        "--ir",
+        action="store_true",
+        help="also print the canonical fused-IR rendering",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable plan instead of text",
+    )
+    p.add_argument("-o", "--out", help="save the plan JSON here")
+    cache_flags(p)
+    p.set_defaults(fn=_cmd_fuse)
 
     p = sub.add_parser("format", help="pretty-print (normalize) a source file")
     common(p)

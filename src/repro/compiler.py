@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import threading
 import warnings
 from dataclasses import dataclass, field
@@ -46,10 +47,11 @@ from repro.backends.artifacts import (
     modeled_compile_s,
 )
 from repro.backends.bytecode.compiler import compile_module, make_cpu_artifact
-from repro.backends.common import Artifact, ArtifactStore
+from repro.backends.common import Artifact, ArtifactStore, Manifest
 from repro.backends.opencl.compiler import compile_gpu
 from repro.backends.verilog.compiler import compile_fpga
 from repro.ir import build_ir
+from repro.ir.fusion import FusionOptions, fuse_module
 from repro.lime import analyze
 from repro.obs.tracer import NULL_TRACER
 
@@ -75,6 +77,10 @@ class CompileOptions:
     run_optimizations: bool = True
     tracer: object = NULL_TRACER
     cache: CacheOptions = field(default_factory=CacheOptions)
+    #: Task-fusion sub-options (docs/FUSION.md); default mode='off'
+    #: leaves the IR exactly as before. Not part of any backend's
+    #: cache-key slice — fused IR changes keys via its fingerprint.
+    fusion: FusionOptions = field(default_factory=FusionOptions)
 
     def replace(self, **overrides) -> "CompileOptions":
         """A copy with the given fields changed."""
@@ -135,6 +141,9 @@ class CompileResult:
     #: Per-backend cache outcome: backend id -> {state: off|hit|miss,
     #: modeled_s, key?, payload_bytes?} (docs/CACHING.md).
     cache_info: dict = field(default_factory=dict)
+    #: The applied repro.fusion/1 plan, or None when fusion was off
+    #: (docs/FUSION.md).
+    fusion_plan: object = None
 
     @property
     def bytecode_program(self):
@@ -344,6 +353,31 @@ class CompilerSession:
                     functions=len(module.functions),
                     task_graphs=len(module.task_graphs),
                 )
+            fusion_plan = None
+            if options.fusion.enabled:
+                with tracer.span(
+                    "compile.fusion", mode=options.fusion.mode
+                ) as fusion_span:
+                    fusion_plan = fuse_module(
+                        module,
+                        options.fusion.mode,
+                        plan_path=options.fusion.plan_path,
+                        profile=self._load_profile(
+                            options.fusion.profile_path
+                        ),
+                    )
+                    map_groups = len(fusion_plan.map_groups)
+                    graph_groups = len(fusion_plan.graph_groups)
+                    fusion_span.set(
+                        map_groups=map_groups,
+                        graph_groups=graph_groups,
+                        rejected=len(fusion_plan.rejected),
+                    )
+                    counters.add("fusion.map.fused", map_groups)
+                    counters.add("fusion.graph.planned", graph_groups)
+                    counters.add(
+                        "fusion.plan.rejected", len(fusion_plan.rejected)
+                    )
             store = ArtifactStore()
             bc_artifacts, _, _, bc_info = self._resolve_backend(
                 "bytecode", module, tracer
@@ -398,6 +432,7 @@ class CompilerSession:
             options=options.legacy_dict(),
             compile_options=options,
             cache_info=cache_info,
+            fusion_plan=fusion_plan,
         )
 
     def compile_cached(
@@ -422,6 +457,105 @@ class CompilerSession:
             else:
                 self.counters.add("session.compile.memo_hit")
         return result
+
+    # -- profile / specialization ---------------------------------------
+
+    @staticmethod
+    def _load_profile(path: str) -> "dict | None":
+        """The repro.profile/1 payload gating fusion, or None."""
+        if not path:
+            return None
+        from repro.errors import ConfigurationError
+
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read profile report {path!r}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"profile report {path!r} is not valid JSON: {exc}"
+            ) from exc
+
+    def compile_specialized(
+        self, artifact: Artifact, guard: str, tracer=None
+    ):
+        """Compile a specialized variant of one device kernel.
+
+        ``guard`` is the specialization guard digest (the content hash
+        of the stable operands the runtime observed —
+        :mod:`repro.runtime.specialize`). The variant is the same
+        executable payload under a guarded identity
+        (``<generic>@spec:<guard>``): bit-identical results by
+        construction, with the modeled win coming from skipping
+        re-marshaling of guard-resident operands. Content-addressed in
+        the artifact cache under backend id ``specialize`` and keyed on
+        (generic artifact id, guard, device family), so a service that
+        re-observes the same stable operands warm-loads the variant
+        instead of re-specializing. Returns ``(artifact, info)`` with
+        the usual cache-info dict (docs/FUSION.md).
+        """
+        tracer = tracer or self.tracer
+        base = artifact.manifest
+        spec_id = f"{base.artifact_id}@spec:{guard[:12]}"
+        info: dict = {"state": "off"}
+        key = None
+        if self.cache is not None:
+            material = json.dumps(
+                {
+                    "schema": "repro.specialize/1",
+                    "artifact": base.artifact_id,
+                    "guard": guard,
+                    "device_family": self.cache.options.device_family,
+                },
+                sort_keys=True,
+            )
+            key = hashlib.sha256(material.encode("utf-8")).hexdigest()
+            info["key"] = key
+            if self.cache.options.readable:
+                entry = self.cache.load("specialize", key, tracer=tracer)
+                if entry is not None:
+                    info.update(
+                        state="hit",
+                        modeled_s=entry.modeled_load_s,
+                        payload_bytes=entry.payload_bytes,
+                    )
+                    return entry.artifacts[0], info
+        with tracer.span(
+            "compile.specialize",
+            artifact=base.artifact_id,
+            guard=guard[:12],
+        ) as spec_span:
+            manifest = Manifest(
+                artifact_id=spec_id,
+                device=base.device,
+                task_ids=list(base.task_ids),
+                graph_id=base.graph_id,
+                source_language=base.source_language,
+                properties={
+                    **base.properties,
+                    "specialized": True,
+                    "guard": guard,
+                    "generic": base.artifact_id,
+                },
+            )
+            specialized = Artifact(
+                manifest=manifest,
+                payload=artifact.payload,
+                text=artifact.text,
+            )
+            spec_span.set(artifact_id=spec_id)
+        info["modeled_s"] = modeled_compile_s("specialize", [specialized])
+        if self.cache is not None:
+            info["state"] = "miss"
+            if self.cache.options.writable:
+                entry = self.cache.store(
+                    "specialize", key, [specialized], [], tracer=tracer
+                )
+                info["payload_bytes"] = entry.payload_bytes
+        return specialized, info
 
     # -- cache operations -----------------------------------------------
 

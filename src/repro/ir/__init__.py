@@ -2,6 +2,15 @@
 shape discovery, and shallow optimizations."""
 
 from repro.ir.builder import lower
+from repro.ir.fusion import (
+    FusionGroup,
+    FusionOptions,
+    FusionPlan,
+    apply_fusion,
+    fuse_module,
+    plan_fusion,
+    render_fused_ir,
+)
 from repro.ir.nodes import IRFunction, IRModule
 from repro.ir.optimizations import optimize
 from repro.ir.shape import discover_task_graphs
@@ -22,13 +31,19 @@ def build_ir(checked, run_optimizations: bool = True) -> IRModule:
 
 
 __all__ = [
+    "FusionGroup",
+    "FusionOptions",
+    "FusionPlan",
     "IRFunction",
     "IRModule",
     "StageIR",
     "TaskGraphIR",
+    "apply_fusion",
     "build_ir",
     "discover_task_graphs",
+    "fuse_module",
     "lower",
     "optimize",
-    "verify_module",
+    "plan_fusion",
+    "render_fused_ir",
 ]

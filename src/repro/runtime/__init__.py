@@ -26,6 +26,10 @@ from repro.runtime.health import (
 from repro.runtime.marshaling import BoundaryCosts, MarshalingBoundary
 from repro.runtime.queues import END_OF_STREAM, Connection
 from repro.runtime.scheduler import SequentialScheduler, ThreadedScheduler
+from repro.runtime.specialize import (
+    KernelSpecializer,
+    SpecializationPolicy,
+)
 from repro.runtime.substitution import (
     SubstitutionPolicy,
     apply_substitutions,
@@ -61,6 +65,7 @@ __all__ = [
     "HealthPolicy",
     "HealthRegistry",
     "InjectedFault",
+    "KernelSpecializer",
     "MarshalingBoundary",
     "NULL_INJECTOR",
     "Pipeline",
@@ -72,6 +77,7 @@ __all__ = [
     "SequentialScheduler",
     "SinkTask",
     "SourceTask",
+    "SpecializationPolicy",
     "SubstitutionPolicy",
     "Supervisor",
     "ThreadedScheduler",

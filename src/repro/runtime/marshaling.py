@@ -85,6 +85,10 @@ class MarshalingBoundary:
         self.log.append(record)
         # Latency/size distributions come for free at this seam: one
         # observation per crossing, in deterministic simulated time.
+        # The uniform crossing counter (every path funnels through
+        # here) is what the fusion suites assert shrinks on fused runs.
+        self.tracer.counters.add("marshal.crossings")
+        self.tracer.counters.add(f"marshal.crossings[{self.name}]")
         self.metrics.histogram("marshal.crossing_us").observe(
             record.total_s * 1e6
         )

@@ -67,6 +67,15 @@ class SequentialScheduler:
                         # (RuntimeConfig.batch_size); surface the knob
                         # so a trace explains the crossing count.
                         span.set(batch_size=batch_size)
+                    covered = getattr(task, "covered_task_ids", None)
+                    if covered is not None:
+                        # A multi-stage device task is a fused span:
+                        # one crossing per batch for the whole run
+                        # (docs/FUSION.md).
+                        span.set(
+                            fused=len(covered) > 1,
+                            fused_span=len(covered),
+                        )
                     items = task.process_batch(items, ctx)
                     # No FIFOs in sequential mode: the explicit zero
                     # keeps profile reports uniform across schedulers.
@@ -156,6 +165,12 @@ class ThreadedScheduler:
                     batch_size = getattr(task, "batch_size", None)
                     if batch_size is not None:
                         span.set(batch_size=batch_size)
+                    covered = getattr(task, "covered_task_ids", None)
+                    if covered is not None:
+                        span.set(
+                            fused=len(covered) > 1,
+                            fused_span=len(covered),
+                        )
                     task.run(ctx)
                     stage = ctx.graph_run.stages.get(task.task_id)
                     if stage is not None:

@@ -1,0 +1,159 @@
+"""Runtime kernel specialization (docs/FUSION.md).
+
+The TornadoVM-lineage move: when a data-parallel kernel keeps seeing
+the *same* stable operands (broadcast arrays — convolution taps, the
+matrices of a matmul, cluster centroids), re-JIT a variant with those
+operands treated as device-resident constants. The guard is a content
+digest of the stable operands; every dispatch re-checks it, a hit
+skips re-marshaling the guarded arrays, and a mismatch demotes back to
+the generic kernel in one step.
+
+Correctness is by construction: the specialized variant shares the
+generic kernel's executable payload, so outputs are bit-identical —
+only the modeled marshaling/launch costs change. The variant is
+content-addressed in the PR 6 artifact cache under backend id
+``specialize`` (:meth:`CompilerSession.compile_specialized`), so a
+long-lived service observing the same stable operands across jobs
+warm-loads the variant instead of re-specializing.
+
+State machine per generic kernel::
+
+    observing --(same guard for observe_batches)--> compile --> hit
+        ^                                                        |
+        +----------------- guard mismatch (demote) --------------+
+
+``specialize.*`` counters and the ``compile.specialize`` span feed the
+PR 4 profiler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.obs.tracer import NULL_TRACER
+from repro.values import ValueArray, serialize
+
+
+@dataclass(frozen=True)
+class SpecializationPolicy:
+    """Runtime specialization knobs (``RuntimeConfig.specialize``).
+
+    Disabled by default: specialization changes modeled timing (that is
+    its purpose), so it is strictly opt-in — the differential suites
+    pin down that enabling it never changes *values*.
+    """
+
+    enabled: bool = False
+    #: Consecutive batches a guard must stay stable before the
+    #: specialized variant is compiled.
+    observe_batches: int = 3
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> "SpecializationPolicy":
+        if self.observe_batches < 1:
+            raise ConfigurationError(
+                f"specialize.observe_batches must be positive, "
+                f"got {self.observe_batches}"
+            )
+        return self
+
+
+def guard_digest(args: list, broadcast) -> "tuple[str, tuple]":
+    """The specialization guard for one dispatch: a content digest of
+    every broadcast :class:`ValueArray` operand (the candidates for
+    device residency), plus their argument positions. Returns
+    ``("", ())`` when nothing is stable enough to guard on."""
+    hasher = hashlib.sha256()
+    positions = []
+    for pos, (arg, is_broadcast) in enumerate(zip(args, broadcast)):
+        if not (is_broadcast and isinstance(arg, ValueArray)):
+            continue
+        positions.append(pos)
+        hasher.update(b"%d:" % pos)
+        hasher.update(serialize(arg))
+    if not positions:
+        return "", ()
+    return hasher.hexdigest(), tuple(positions)
+
+
+class _KernelState:
+    __slots__ = ("guard", "streak", "variants")
+
+    def __init__(self):
+        self.guard: "str | None" = None
+        self.streak = 0
+        self.variants: dict = {}   # guard -> specialized Artifact
+
+
+class KernelSpecializer:
+    """Guarded specialization over the runtime's map kernels.
+
+    ``compile_fn(artifact, guard) -> (variant, info)`` is
+    :meth:`CompilerSession.compile_specialized`; ``charge(seconds)``
+    bills the modeled (re)compile stall to the runtime's simulated
+    clock, so specialization pays for itself honestly.
+    """
+
+    def __init__(self, policy: SpecializationPolicy, compile_fn,
+                 tracer=NULL_TRACER, charge=None):
+        self.policy = policy
+        self.compile_fn = compile_fn
+        self.tracer = tracer
+        self.charge = charge
+        self._states: dict = {}
+        #: [(generic_id, event, guard12)] — inspectable decision log.
+        self.log: list = []
+
+    def _note(self, artifact_id: str, event: str, guard: str) -> None:
+        self.log.append((artifact_id, event, guard[:12]))
+        self.tracer.counters.add(f"specialize.{event}")
+
+    def observe(self, artifact, args: list, broadcast):
+        """One dispatch through the state machine. Returns
+        ``(artifact_to_run, resident_positions)``: the generic artifact
+        with no resident operands, or the specialized variant with the
+        guarded argument positions (skip their ``to_device``)."""
+        key = artifact.artifact_id
+        guard, positions = guard_digest(args, broadcast)
+        if not guard:
+            return artifact, ()
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _KernelState()
+        variant = state.variants.get(guard)
+        if variant is not None:
+            if state.guard != guard:
+                # Returning to a previously-specialized operand set
+                # after a demotion: the cached variant re-arms at once.
+                self._note(key, "guard_miss", guard)
+            state.guard = guard
+            state.streak += 1
+            self._note(key, "hit", guard)
+            return variant, positions
+        if state.guard == guard:
+            state.streak += 1
+        else:
+            if state.guard is not None:
+                self._note(key, "guard_miss", guard)
+                if state.variants:
+                    self._note(key, "demote", guard)
+            state.guard = guard
+            state.streak = 1
+        self._note(key, "observe", guard)
+        if state.streak < self.policy.observe_batches:
+            return artifact, ()
+        variant, info = self.compile_fn(artifact, guard)
+        state.variants[guard] = variant
+        self._note(
+            key,
+            "warm" if info.get("state") == "hit" else "compile",
+            guard,
+        )
+        if self.charge is not None:
+            self.charge(info.get("modeled_s", 0.0))
+        self.tracer.counters.add("specialize.active")
+        return variant, positions

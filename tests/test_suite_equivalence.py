@@ -3,11 +3,20 @@
 The deepest end-to-end invariant of the reproduction: for every
 application, the co-executing configuration produces exactly the value
 the pure-bytecode configuration produces (bit-identical — float math
-round-trips through binary32 on both paths)."""
+round-trips through binary32 on both paths).
+
+The metrics-registry sweep rides along: the ``marshal.crossings``
+counter must be identical between the two scheduler variants (the
+schedulers reorder work, never the boundary traffic), and fusion must
+strictly reduce it on the fusable apps while leaving every other app's
+count untouched (docs/FUSION.md)."""
 
 import pytest
 
 from repro.apps import SUITE, compile_app, workloads
+from repro.compiler import CompileOptions
+from repro.ir.fusion import FusionOptions
+from repro.obs import Tracer
 from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
 
 # Reduced workloads so the whole sweep stays fast.
@@ -28,7 +37,13 @@ SMALL_ARGS = {
     "hybrid": lambda: workloads.hybrid_args(96, 48),
     "running_sum": lambda: workloads.running_sum_args(48),
     "sobel": lambda: workloads.sobel_args(12, 8),
+    "photo_pipeline": lambda: workloads.photo_pipeline_args(128),
 }
+
+# Apps where the fusion pass finds a legal multi-stage group at these
+# workload sizes (docs/FUSION.md): the stream pipeline fuses at the
+# task-graph level, the chained map pair at the IR level.
+FUSABLE = {"gray_pipeline", "photo_pipeline"}
 
 
 @pytest.mark.parametrize("name", sorted(SUITE))
@@ -56,3 +71,47 @@ def test_adaptive_policy_equals_bytecode(name):
         RuntimeConfig(policy=SubstitutionPolicy(use_accelerators=False)),
     ).run(entry, args)
     assert adaptive.value == plain.value, name
+
+
+def _crossings(compiled, entry, args, scheduler, fusion="auto"):
+    """Run once under a fresh tracer; return the uniform boundary
+    crossing count (every marshaling path funnels through it)."""
+    tracer = Tracer()
+    Runtime(
+        compiled,
+        RuntimeConfig(scheduler=scheduler, tracer=tracer, fusion=fusion),
+    ).run(entry, args)
+    return tracer.counters.snapshot().get("marshal.crossings", 0)
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_crossing_count_scheduler_invariant(name):
+    """The schedulers reorder work, never the boundary traffic: both
+    must cross the marshaling boundary exactly as often."""
+    entry, args = SMALL_ARGS[name]()
+    compiled = compile_app(name)
+    sequential = _crossings(compiled, entry, args, "sequential")
+    threaded = _crossings(compiled, entry, args, "threaded")
+    assert sequential == threaded, name
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_fusion_strictly_reduces_crossings(name):
+    """Fused runs cross the boundary strictly less often on the
+    fusable apps; everywhere else fusion must not change traffic."""
+    entry, args = SMALL_ARGS[name]()
+    unfused = _crossings(
+        compile_app(name), entry, args, "sequential", fusion="off"
+    )
+    fused = _crossings(
+        compile_app(
+            name, CompileOptions(fusion=FusionOptions(mode="auto"))
+        ),
+        entry,
+        args,
+        "sequential",
+    )
+    if name in FUSABLE:
+        assert fused < unfused, name
+    else:
+        assert fused == unfused, name
