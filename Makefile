@@ -2,11 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke examples trace-smoke fault-smoke \
-	profile-smoke health-smoke harvest-smoke serve-smoke all clean
+.PHONY: test bench bench-smoke bench-gate examples trace-smoke \
+	fault-smoke profile-smoke health-smoke harvest-smoke serve-smoke \
+	all clean
 
 test: trace-smoke fault-smoke profile-smoke health-smoke harvest-smoke \
-		serve-smoke bench-smoke
+		serve-smoke bench-smoke bench-gate
 	$(PYTHON) -m pytest tests/
 
 # The -m "" overrides pyproject's default "not slow" filter so the
@@ -25,6 +26,14 @@ bench-smoke:
 		benchmarks/test_bench_fusion.py \
 		benchmarks/test_bench_artifact_cache.py \
 		--benchmark-disable -q
+
+# The performance-trajectory regression gate (docs/TRAJECTORY.md):
+# compare the last two committed snapshots under benchmarks/changelogs/
+# and fail on any >10% modeled regression along the critical path.
+# Skips gracefully (exit 0) while the changelog has fewer than two
+# entries, so a fresh checkout still builds.
+bench-gate:
+	PYTHONPATH=src $(PYTHON) -m repro bench gate --threshold 10
 
 # AOT-harvest the whole app suite into a scratch cache, prove every
 # backend warm-starts (the harvest command exits non-zero otherwise),

@@ -13,11 +13,40 @@ simulator (not a curve fit).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 
 from repro.apps import SUITE, compile_app
+from repro.obs.trajectory import bench_envelope, bench_metric
 from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
 from repro.runtime.marshaling import MarshalingBoundary
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_bench_report(
+    bench: str, metrics: dict, legacy: "dict | None" = None
+) -> str:
+    """Write ``benchmarks/out/BENCH_<bench>.json`` in the shared
+    ``repro.bench/1`` envelope (docs/TRAJECTORY.md) and return its
+    path.
+
+    ``metrics`` maps metric name -> :func:`repro.obs.bench_metric`
+    (value + unit + higher/lower direction + modeled/wall kind); the
+    trajectory collector (``python -m repro bench collect``) aggregates
+    these into the per-PR changelog and the regression gate judges the
+    modeled ones direction-aware. ``legacy`` keys are merged at top
+    level unchanged so pre-envelope consumers of the original three
+    reports keep working.
+    """
+    payload = bench_envelope(bench, metrics, legacy=legacy)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"BENCH_{bench}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def cpu_runtime(compiled, **config_kwargs) -> Runtime:

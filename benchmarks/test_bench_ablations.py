@@ -19,7 +19,7 @@ from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
 from repro.runtime.marshaling import BoundaryCosts, MarshalingBoundary
 from repro.values import KIND_INT, ValueArray
 
-from harness import format_table
+from harness import bench_metric, format_table, write_bench_report
 
 
 def test_bench_coalescing_ablation(benchmark, capsys):
@@ -65,6 +65,17 @@ def test_bench_coalescing_ablation(benchmark, capsys):
     )
     assert mem_ratio > 3  # bandwidth penalty bites
     assert comp_ratio < 1.2  # hidden under compute
+    write_bench_report(
+        "ablation_coalescing",
+        {
+            "uncoalesced_slowdown.memory_bound": bench_metric(
+                mem_ratio, unit="x", direction="higher"
+            ),
+            "uncoalesced_slowdown.compute_bound": bench_metric(
+                comp_ratio, unit="x", direction="lower"
+            ),
+        },
+    )
 
 
 def test_bench_gpu_core_scaling(benchmark, capsys):
@@ -88,6 +99,14 @@ def test_bench_gpu_core_scaling(benchmark, capsys):
     )
     # Doubling cores ~halves time (modulo the fixed launch overhead).
     assert times[64] / times[512] > 5
+    write_bench_report(
+        "ablation_core_scaling",
+        {
+            "scaling_64_to_512": bench_metric(
+                times[64] / times[512], unit="x", direction="higher"
+            ),
+        },
+    )
 
 
 def test_bench_fpga_clock_from_synthesis(benchmark, capsys):
@@ -215,3 +234,14 @@ def test_bench_retiming_ablation(benchmark, capsys):
     assert retimed_fmax > base_fmax * 2
     assert rows[2][1] > 1
     assert rows[2][3] > rows[0][3]  # flip-flop cost
+    write_bench_report(
+        "ablation_retiming",
+        {
+            "crc8.retimed_fmax_ratio": bench_metric(
+                retimed_fmax / base_fmax, unit="x", direction="higher"
+            ),
+            "crc8.retimed_fmax_hz": bench_metric(
+                retimed_fmax, unit="Hz", direction="higher"
+            ),
+        },
+    )

@@ -16,28 +16,16 @@ speedup. Wall-clock is reported as a sanity signal only; the modeled
 clock is the accepted metric (same convention as BENCH_marshal).
 """
 
-import json
-import os
 import time
 
 from repro.apps import SUITE
 from repro.backends.artifacts import CacheOptions
 from repro.compiler import CompileOptions, CompilerSession
 
-from harness import format_table
-
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
-OUT_PATH = os.path.join(OUT_DIR, "BENCH_artifact_cache.json")
+from harness import bench_metric, format_table, write_bench_report
 
 #: Modeled speedup the warm path must clear, summed across the suite.
 ACCEPTANCE_SPEEDUP = 5.0
-
-
-def _write_report(report: dict) -> None:
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(OUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
 
 
 def test_bench_artifact_cache_warm_start(benchmark, tmp_path, capsys):
@@ -113,8 +101,26 @@ def test_bench_artifact_cache_warm_start(benchmark, tmp_path, capsys):
         )
     )
 
-    _write_report(
+    write_bench_report(
+        "artifact_cache",
         {
+            "totals.modeled_speedup": bench_metric(
+                speedup, unit="x", direction="higher"
+            ),
+            "totals.modeled_cold_s": bench_metric(
+                total_cold, unit="s", direction="lower"
+            ),
+            "totals.modeled_warm_s": bench_metric(
+                total_warm, unit="s", direction="lower"
+            ),
+            "totals.cold_wall_s": bench_metric(
+                cold_wall, unit="s", direction="lower", kind="wall"
+            ),
+            "totals.warm_wall_s": bench_metric(
+                warm_wall, unit="s", direction="lower", kind="wall"
+            ),
+        },
+        legacy={
             "acceptance_speedup": ACCEPTANCE_SPEEDUP,
             "apps": apps,
             "totals": {
@@ -124,7 +130,7 @@ def test_bench_artifact_cache_warm_start(benchmark, tmp_path, capsys):
                 "cold_wall_s": cold_wall,
                 "warm_wall_s": warm_wall,
             },
-        }
+        },
     )
 
     assert speedup >= ACCEPTANCE_SPEEDUP, (

@@ -19,7 +19,7 @@ from repro.backends.common import BYTECODE, FPGA, GPU
 from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
 from repro.values import KIND_BIT, Bit, ValueArray, parse_bit_literal
 
-from harness import format_table
+from harness import bench_metric, format_table, write_bench_report
 
 
 def bits(text):
@@ -101,6 +101,15 @@ def test_bench_fig1_report(benchmark, capsys):
 
     table = benchmark.pedantic(report, rounds=1, iterations=1)
     print("\n[E1] Figure 1 taskFlip, 252 bits:\n" + table)
+    write_bench_report(
+        "fig1_bitflip",
+        {
+            f"taskflip.{device}.simulated_s": bench_metric(
+                outcomes[device].seconds, unit="s", direction="lower"
+            )
+            for device in (BYTECODE, GPU, FPGA)
+        },
+    )
     # On a 252-bit toy stream the fixed device overheads dominate: the
     # bytecode path must win, which is exactly why the runtime offers
     # manual direction.

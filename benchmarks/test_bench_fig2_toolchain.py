@@ -10,7 +10,7 @@ the IDE's per-task markers in Figure 4's top half).
 from repro.apps import SUITE
 from repro.compiler import compile_program, compile_report
 
-from harness import format_table
+from harness import bench_metric, format_table, write_bench_report
 
 
 def _suite_compile():
@@ -45,6 +45,20 @@ def test_bench_fig2_artifact_matrix(benchmark, capsys):
         rows,
     )
     print("\n[E2] Toolchain artifact matrix:\n" + table)
+    write_bench_report(
+        "fig2_toolchain",
+        {
+            "artifacts.gpu": bench_metric(
+                totals["gpu"], unit="count", direction="higher"
+            ),
+            "artifacts.fpga": bench_metric(
+                totals["fpga"], unit="count", direction="higher"
+            ),
+            "artifacts.excluded": bench_metric(
+                totals["excluded"], unit="count", direction="lower"
+            ),
+        },
+    )
 
     # Structural claims from Section 3:
     # 1. The CPU backend always compiles the entire program.

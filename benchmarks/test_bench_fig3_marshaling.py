@@ -21,7 +21,7 @@ from repro.values import (
     ValueArray,
 )
 
-from harness import format_table
+from harness import bench_metric, format_table, write_bench_report
 
 SIZES = [1_000, 10_000, 100_000, 1_000_000]
 
@@ -70,6 +70,16 @@ def test_bench_fig3_step_table(benchmark, capsys):
         rows,
     )
     print("\n[E3] Figure 3 float-in / int-out transfer:\n" + table)
+
+    metrics = {}
+    for n, out_rec, back_rec in results:
+        metrics[f"roundtrip.{n}.total_s"] = bench_metric(
+            out_rec.total_s + back_rec.total_s, unit="s", direction="lower"
+        )
+        metrics[f"roundtrip.{n}.bytes"] = bench_metric(
+            out_rec.num_bytes, unit="bytes", direction="lower"
+        )
+    write_bench_report("fig3_marshaling", metrics)
 
     small = results[0]
     large = results[-1]

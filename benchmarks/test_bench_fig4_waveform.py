@@ -24,6 +24,8 @@ from repro.compiler import CompileOptions
 from repro.devices.fpga import FPGASimulator
 from repro.values import parse_bit_literal
 
+from harness import bench_metric, write_bench_report
+
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 # Figure 4 drives 9 input bits; we use the literal from the test deck.
@@ -101,6 +103,22 @@ def test_bench_fig4_pipelining_ablation(benchmark, capsys):
     # Pipelined: approaches one item per cycle.
     assert piped.throughput_items_per_cycle > 0.85
     assert piped.cycles < plain.cycles / 2
+    write_bench_report(
+        "fig4_waveform",
+        {
+            "stream256.ii3.cycles": bench_metric(
+                plain.cycles, unit="cycles", direction="lower"
+            ),
+            "stream256.ii1.cycles": bench_metric(
+                piped.cycles, unit="cycles", direction="lower"
+            ),
+            "stream256.ii1.items_per_cycle": bench_metric(
+                piped.throughput_items_per_cycle,
+                unit="items/cycle",
+                direction="higher",
+            ),
+        },
+    )
 
 
 def test_bench_fig4_synthesis_report(benchmark, capsys):

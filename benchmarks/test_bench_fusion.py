@@ -14,19 +14,13 @@ device path with strictly fewer crossings; runs in the tier-1 suite
 and ``make bench-smoke``.
 """
 
-import json
-import os
-
 from repro.apps import compile_app, workloads
 from repro.compiler import CompileOptions
 from repro.ir.fusion import FusionOptions
 from repro.obs import Tracer
 from repro.runtime import Runtime, RuntimeConfig
 
-from harness import format_table
-
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
-OUT_PATH = os.path.join(OUT_DIR, "BENCH_fusion.json")
+from harness import bench_metric, format_table, write_bench_report
 
 AUTO = CompileOptions(fusion=FusionOptions(mode="auto"))
 
@@ -128,7 +122,18 @@ def test_bench_fusion_speedup(benchmark, capsys):
         )
     )
 
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(OUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    metrics = {}
+    for name, entry in report.items():
+        metrics[f"{name}.device_path_speedup"] = bench_metric(
+            entry["device_path_speedup"], unit="x", direction="higher"
+        )
+        metrics[f"{name}.end_to_end_speedup"] = bench_metric(
+            entry["end_to_end_speedup"], unit="x", direction="higher"
+        )
+        metrics[f"{name}.fused.crossings"] = bench_metric(
+            entry["fused"]["crossings"], unit="count", direction="lower"
+        )
+        metrics[f"{name}.fused.device_path_s"] = bench_metric(
+            entry["fused"]["device_path_s"], unit="s", direction="lower"
+        )
+    write_bench_report("fusion", metrics, legacy=report)

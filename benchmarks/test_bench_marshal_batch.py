@@ -14,19 +14,18 @@ here run in the tier-1 suite (and ``make bench-smoke``); the
 ``slow``-marked variants sweep full-scale streams.
 """
 
-import json
-import os
-
 import pytest
 
 from repro.apps import compile_app, workloads
 from repro.runtime import Runtime, RuntimeConfig
 from repro.runtime.marshaling import MarshalingBoundary
 
-from harness import format_table, marshal_stream_seconds
-
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
-OUT_PATH = os.path.join(OUT_DIR, "BENCH_marshal.json")
+from harness import (
+    bench_metric,
+    format_table,
+    marshal_stream_seconds,
+    write_bench_report,
+)
 
 STREAM_ITEMS = 1000
 BATCH_SIZES = [8, 64, 256, 1000]
@@ -37,13 +36,6 @@ APP_WORKLOADS = {
     "bitflip": lambda: workloads.bitflip_args(256),
     "gray_pipeline": lambda: workloads.gray_pipeline_args(256),
 }
-
-
-def _write_report(report: dict) -> None:
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(OUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
 
 
 def _app_seconds(name, batch_size):
@@ -103,8 +95,29 @@ def test_bench_marshal_batch_throughput(benchmark, capsys):
         }
 
     improvement_64 = per_element_s / batched[64]
-    _write_report(
-        {
+    metrics = {
+        "stream.per_element_s": bench_metric(
+            per_element_s, unit="s", direction="lower"
+        ),
+        "stream.throughput_improvement_at_64": bench_metric(
+            improvement_64, unit="x", direction="higher"
+        ),
+    }
+    for size in BATCH_SIZES:
+        metrics[f"stream.batched_s.{size}"] = bench_metric(
+            batched[size], unit="s", direction="lower"
+        )
+    for name, entry in apps.items():
+        metrics[f"apps.{name}.improvement"] = bench_metric(
+            entry["improvement"], unit="x", direction="higher"
+        )
+        metrics[f"apps.{name}.batch_64_s"] = bench_metric(
+            entry["batch_64_s"], unit="s", direction="lower"
+        )
+    write_bench_report(
+        "marshal",
+        metrics,
+        legacy={
             "stream": {
                 "items": STREAM_ITEMS,
                 "kind": "int",
@@ -113,7 +126,7 @@ def test_bench_marshal_batch_throughput(benchmark, capsys):
                 "throughput_improvement_at_64": improvement_64,
             },
             "apps": apps,
-        }
+        },
     )
 
     # The acceptance bar: batching must at least double the modeled

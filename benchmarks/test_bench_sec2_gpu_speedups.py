@@ -17,9 +17,11 @@ import pytest
 
 from harness import (
     PAPER_SCALES,
+    bench_metric,
     format_table,
     measure_pair,
     paper_scale,
+    write_bench_report,
 )
 
 COMPUTE_BOUND = [
@@ -64,6 +66,24 @@ def test_bench_sec2_speedup_table(benchmark, results, capsys):
         iterations=1,
     )
     print("\n[E5] CPU+GPU end-to-end speedups (paper: 12x-431x):\n" + table)
+
+    metrics = {
+        f"paper_speedup.{name}": bench_metric(
+            results[name].paper_speedup, unit="x", direction="higher"
+        )
+        for name in COMPUTE_BOUND
+    }
+    metrics["paper_speedup.floor"] = bench_metric(
+        min(results[n].paper_speedup for n in COMPUTE_BOUND),
+        unit="x",
+        direction="higher",
+    )
+    metrics["paper_speedup.ceiling"] = bench_metric(
+        max(results[n].paper_speedup for n in COMPUTE_BOUND),
+        unit="x",
+        direction="higher",
+    )
+    write_bench_report("sec2_gpu_speedups", metrics)
 
     speedups = [results[n].paper_speedup for n in COMPUTE_BOUND]
     low, high = min(speedups), max(speedups)

@@ -18,7 +18,7 @@ from repro.apps import SUITE, compile_app
 from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
 from repro.values import KIND_INT, ValueArray
 
-from harness import format_table
+from harness import bench_metric, format_table, write_bench_report
 
 
 def run_policy(policy, n=512):
@@ -74,6 +74,22 @@ def test_bench_sec4_policy_table(benchmark, capsys):
     # The fused substitution crosses the boundary once instead of
     # twice, so it is strictly cheaper.
     assert primitive[0].seconds < smaller[0].seconds
+    write_bench_report(
+        "sec4_substitution",
+        {
+            "primitive.simulated_s": bench_metric(
+                primitive[0].seconds, unit="s", direction="lower"
+            ),
+            "prefer_smaller.simulated_s": bench_metric(
+                smaller[0].seconds, unit="s", direction="lower"
+            ),
+            "primitive_vs_smaller.speedup": bench_metric(
+                smaller[0].seconds / primitive[0].seconds,
+                unit="x",
+                direction="higher",
+            ),
+        },
+    )
 
 
 def test_bench_sec4_fused_halves_crossings(benchmark):

@@ -15,7 +15,7 @@ from repro.devices.interconnect import PCIE_GEN2_X8, UART_921600
 from repro.runtime import Runtime, RuntimeConfig, SubstitutionPolicy
 from repro.values import KIND_INT, ValueArray
 
-from harness import format_table
+from harness import bench_metric, format_table, write_bench_report
 
 
 def crc_runtime(link):
@@ -64,6 +64,17 @@ def test_bench_sec7_pcie_vs_uart(benchmark, capsys):
     # Over UART the link utterly dominates the FPGA compute time.
     uart_offload = uart.ledger.offloads[0]
     assert uart_offload.transfer_s > uart_offload.kernel_s * 50
+    write_bench_report(
+        "sec7_attachments",
+        {
+            "crc2048.pcie.end_to_end_s": bench_metric(
+                pcie.seconds, unit="s", direction="lower"
+            ),
+            "crc2048.uart.end_to_end_s": bench_metric(
+                uart.seconds, unit="s", direction="lower"
+            ),
+        },
+    )
 
 
 def test_bench_sec7_three_way_coexecution(benchmark, capsys):

@@ -35,8 +35,10 @@ def _jsonable(value):
 
 
 def span_to_event(span, pid: int = 1) -> dict:
-    """One finished span as a Chrome 'X' (complete) event."""
-    args = {k: _jsonable(v) for k, v in span.attributes.items()}
+    """One finished span as a Chrome 'X' (complete) event. Attribute
+    args are sorted by name so exported traces are byte-stable across
+    runs (insertion order varies with scheduling)."""
+    args = {k: _jsonable(v) for k, v in sorted(span.attributes.items())}
     args["span_id"] = span.span_id
     if span.parent_id is not None:
         args["parent_id"] = span.parent_id
@@ -100,7 +102,7 @@ def write_chrome_trace(tracer, path: str, process_name: str = "repro") -> dict:
     """Export to ``path``; returns the payload that was written."""
     payload = to_chrome_trace(tracer, process_name)
     with open(path, "w") as f:
-        json.dump(payload, f, indent=1)
+        json.dump(payload, f, indent=1, sort_keys=True)
         f.write("\n")
     return payload
 
@@ -124,7 +126,8 @@ def to_json_lines(tracer) -> str:
                     "duration_us": round(span.duration_us, 3),
                     "thread": span.thread_id or 0,
                     "attributes": {
-                        k: _jsonable(v) for k, v in span.attributes.items()
+                        k: _jsonable(v)
+                        for k, v in sorted(span.attributes.items())
                     },
                 },
                 sort_keys=True,
