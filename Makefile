@@ -4,10 +4,10 @@ PYTHON ?= python
 
 .PHONY: test bench bench-smoke bench-gate examples trace-smoke \
 	fault-smoke profile-smoke health-smoke harvest-smoke serve-smoke \
-	all clean
+	recover-smoke all clean
 
 test: trace-smoke fault-smoke profile-smoke health-smoke harvest-smoke \
-		serve-smoke bench-smoke bench-gate
+		serve-smoke recover-smoke bench-smoke bench-gate
 	$(PYTHON) -m pytest tests/
 
 # The -m "" overrides pyproject's default "not slow" filter so the
@@ -15,16 +15,19 @@ test: trace-smoke fault-smoke profile-smoke health-smoke harvest-smoke \
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -m ""
 
-# Fast marshaling/fusion/cache benchmarks: produce
+# Fast marshaling/fusion/cache/recovery benchmarks: produce
 # benchmarks/out/BENCH_marshal.json (>=2x batched throughput bar,
-# docs/PERFORMANCE.md) and benchmarks/out/BENCH_fusion.json (>=2x
+# docs/PERFORMANCE.md), benchmarks/out/BENCH_fusion.json (>=2x
 # fused device-path speedup with strictly fewer boundary crossings,
-# docs/FUSION.md) without the slow variants.
+# docs/FUSION.md), and benchmarks/out/BENCH_recovery.json (<10%
+# modeled checkpoint overhead at the default cadence,
+# docs/RECOVERY.md) without the slow variants.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_marshal_batch.py \
 		benchmarks/test_bench_fusion.py \
 		benchmarks/test_bench_artifact_cache.py \
+		benchmarks/test_bench_recovery.py \
 		--benchmark-disable -q
 
 # The performance-trajectory regression gate (docs/TRAJECTORY.md):
@@ -118,6 +121,23 @@ serve-smoke:
 	from repro.service import validate_service_file; \
 	validate_service_file('benchmarks/out/serve_smoke.json'); \
 	print('serve-smoke: benchmarks/out/serve_smoke.json valid')"
+
+# Crash-consistent recovery smoke: submit 6 jobs against a journaled
+# service, crash at a seeded device consult, restart-and-recover in a
+# loop until convergence, verify every job's digest is bit-identical
+# to an uninterrupted baseline, then re-validate the emitted report
+# against the repro.recover/1 schema (docs/RECOVERY.md).
+recover-smoke:
+	mkdir -p benchmarks/out
+	rm -rf benchmarks/out/recover_smoke_journal
+	PYTHONPATH=src $(PYTHON) -m repro recover \
+		--journal-dir benchmarks/out/recover_smoke_journal \
+		--jobs 6 --scheduler sequential --seed 1 --crash-call 3 \
+		-o benchmarks/out/recover_smoke.json > /dev/null
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.service import validate_recover_file; \
+	validate_recover_file('benchmarks/out/recover_smoke.json'); \
+	print('recover-smoke: benchmarks/out/recover_smoke.json valid')"
 
 # Kill every accelerator call against a GPU map app and an FPGA stream
 # app: both runs must still produce output identical to a cpu-only run,

@@ -393,10 +393,63 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _fault_plan_dirs():
+    """Candidate directories holding the bundled example fault plans:
+    the working tree first, then relative to the installed package."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return [
+        os.path.join("examples", "fault_plans"),
+        os.path.normpath(
+            os.path.join(here, "..", "..", "examples", "fault_plans")
+        ),
+    ]
+
+
+def _list_fault_plans() -> int:
+    """Print every bundled example fault plan with its seed, spec
+    summary, and comment, so ``faults --plan`` / ``recover`` users can
+    discover them without grepping the tree."""
+    from repro.runtime import load_fault_plan
+
+    for directory in _fault_plan_dirs():
+        if not os.path.isdir(directory):
+            continue
+        names = sorted(
+            n for n in os.listdir(directory) if n.endswith(".json")
+        )
+        if not names:
+            continue
+        print(f"bundled fault plans ({directory}):")
+        for fname in names:
+            path = os.path.join(directory, fname)
+            try:
+                plan = load_fault_plan(path)
+            except LiquidMetalError as exc:
+                print(f"  {fname}: INVALID ({exc})")
+                continue
+            kinds = ",".join(
+                sorted({spec.error for spec in plan.specs})
+            )
+            print(
+                f"  {fname}: seed={plan.seed}, {len(plan)} spec(s), "
+                f"kind(s): {kinds}"
+            )
+            with open(path) as f:
+                raw = json.load(f)
+            for spec in raw.get("faults", []):
+                comment = spec.get("comment")
+                if comment:
+                    print(f"      {comment}")
+        return 0
+    print("error: no examples/fault_plans directory found", file=sys.stderr)
+    return 2
+
+
 def _cmd_faults(args) -> int:
     """Run an app under a fault plan and verify graceful degradation:
     the faulted run must produce output identical to a cpu-only run,
     with the recovery visible in the counters."""
+    from repro.errors import ProcessCrash
     from repro.obs import Tracer
     from repro.runtime import (
         FaultPlan,
@@ -408,6 +461,14 @@ def _cmd_faults(args) -> int:
         load_fault_plan,
     )
 
+    if args.list_plans:
+        return _list_fault_plans()
+    if args.target is None:
+        print(
+            "error: a target app is required (or use --list-plans)",
+            file=sys.stderr,
+        )
+        return 2
     resolved = _resolve_target(args)
     if resolved is None:
         return 2
@@ -442,7 +503,21 @@ def _cmd_faults(args) -> int:
             batch_size=args.batch_size,
         ),
     )
-    outcome = runtime.run(entry, values)
+    try:
+        outcome = runtime.run(entry, values)
+    except ProcessCrash as crash:
+        print(
+            f"process crash (simulated) at device consult "
+            f"#{crash.call_index}: {crash}",
+            file=sys.stderr,
+        )
+        print(
+            "a bare runtime has no journal to recover from — run the "
+            "same schedule under `python -m repro recover` to see "
+            "crash-consistent restart (docs/RECOVERY.md)",
+            file=sys.stderr,
+        )
+        return 1
 
     injected = runtime.faults.fired()
     demotions = len(runtime.demotion_log)
@@ -678,6 +753,65 @@ def _cmd_serve(args) -> int:
     if totals.get("failed", 0):
         print(
             f"FAIL: {totals['failed']} job(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    """Run the crash/restart recovery driver: submit jobs against a
+    journaled service under a seeded crash schedule, crash-and-restart
+    in a loop until a pass converges, then verify every job's result
+    digest is bit-identical to an uninterrupted baseline and print the
+    ``repro.recover/1`` report (docs/RECOVERY.md)."""
+    import json
+    import tempfile
+
+    from repro.service import (
+        render_recover_report,
+        run_recovery_driver,
+        validate_recover_report,
+    )
+
+    def drive(journal_dir):
+        return run_recovery_driver(
+            journal_dir,
+            jobs=args.jobs,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            crash_call=args.crash_call,
+            checkpoint_interval=args.checkpoint_interval,
+            use_checkpoints=not args.no_checkpoints,
+            max_restarts=args.max_restarts,
+        )
+
+    if args.journal_dir:
+        report = drive(args.journal_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-recover-") as tmp:
+            report = drive(os.path.join(tmp, "journal"))
+    problems = validate_recover_report(report)
+    if problems:
+        print("error: recovery report failed validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_recover_report(report))
+        if args.out:
+            print(f"\nwrote {args.out}")
+    driver = report.get("driver", {})
+    if driver.get("verified_jobs", 0) != args.jobs:
+        print(
+            f"FAIL: {driver.get('verified_jobs', 0)}/{args.jobs} "
+            "job(s) verified bit-identical",
             file=sys.stderr,
         )
         return 1
@@ -1307,7 +1441,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "target",
+        nargs="?",
         help="suite app name (e.g. mandelbrot) or a Lime source file",
+    )
+    p.add_argument(
+        "--list-plans",
+        action="store_true",
+        help="list the bundled example fault plans "
+        "(examples/fault_plans/*.json) and exit",
     )
     p.add_argument(
         "--entry",
@@ -1513,6 +1654,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to this path",
     )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "recover",
+        help="crash/restart the journaled co-execution service under "
+        "a seeded crash schedule until recovery converges; prints the "
+        "repro.recover/1 report",
+    )
+    p.add_argument(
+        "--journal-dir",
+        help="journal directory (persists across the simulated "
+        "crashes; default: a fresh temporary directory)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=6,
+        help="jobs submitted before the first crash",
+    )
+    p.add_argument(
+        "--scheduler",
+        choices=("threaded", "sequential"),
+        default="sequential",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="crash-schedule RNG seed",
+    )
+    p.add_argument(
+        "--crash-call",
+        type=int,
+        default=3,
+        help="device consult index at which each job's crash fires",
+    )
+    p.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=2,
+        help="decision points between checkpoint frames",
+    )
+    p.add_argument(
+        "--no-checkpoints",
+        action="store_true",
+        help="recover from the journal only (every resume from "
+        "scratch)",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=32,
+        help="give up if recovery has not converged after this many "
+        "restarts",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable JSON report instead of text",
+    )
+    p.add_argument(
+        "-o",
+        "--out",
+        help="also write the JSON report to this path",
+    )
+    p.set_defaults(fn=_cmd_recover)
 
     p = sub.add_parser(
         "harvest",

@@ -204,3 +204,53 @@ class AdmissionRejected(LiquidMetalError):
 class ValueSemanticsError(LiquidMetalError):
     """Attempt to violate value semantics at run time (e.g. mutating a
     value array)."""
+
+
+class JobResultTimeout(LiquidMetalError):
+    """``CoExecutionService.result(timeout_s=...)`` gave up waiting.
+
+    Not a job failure: the job is still in flight (or stuck). Carries
+    the job id and the state it was observed in so a client can decide
+    to keep waiting, cancel, or escalate."""
+
+    def __init__(self, message: str, job_id: str | None = None,
+                 state: str | None = None,
+                 timeout_s: float | None = None):
+        self.job_id = job_id
+        self.state = state
+        self.timeout_s = timeout_s
+        super().__init__(message)
+
+
+class CheckpointReplayError(LiquidMetalError):
+    """A checkpoint frame disagrees with the re-executing run (stage
+    key, call order, or item count diverged). The frame is discarded
+    and the job is re-run from scratch — recovery stays correct, just
+    slower (docs/RECOVERY.md)."""
+
+    def __init__(self, message: str, job_id: str | None = None):
+        self.job_id = job_id
+        super().__init__(message)
+
+
+class ProcessCrash(BaseException):
+    """A simulated host-process crash (the ``crash`` fault kind).
+
+    Deliberately derives from :class:`BaseException`, *not*
+    :class:`LiquidMetalError`: a crash is not a device fault the
+    supervisor may retry or a failure a generic handler may swallow —
+    it must unwind the whole service dispatch, exactly like a real
+    ``kill -9`` would. The co-execution service catches it at the job
+    boundary, appends a ``crashed`` journal record, and marks the
+    journal dead (docs/RECOVERY.md)."""
+
+    def __init__(self, message: str, site: str = "", target: str = "",
+                 spec_index: int = 0, call_index: int = 0,
+                 job_id: str | None = None, tenant: str | None = None):
+        self.site = site
+        self.target = target
+        self.spec_index = spec_index
+        self.call_index = call_index
+        self.job_id = job_id
+        self.tenant = tenant
+        super().__init__(message)

@@ -3,6 +3,12 @@ marshaling, fault injection/supervision, and the co-execution engine."""
 
 from repro.runtime.adaptive import AdaptationRecord, AdaptiveTask
 from repro.runtime.cancel import CancelToken
+from repro.runtime.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointRecorder,
+    load_frames,
+    load_last_frame,
+)
 from repro.runtime.engine import Runtime, RuntimeConfig, RunOutcome
 from repro.runtime.faults import (
     FaultInjector,
@@ -10,6 +16,7 @@ from repro.runtime.faults import (
     FaultSpec,
     InjectedFault,
     NULL_INJECTOR,
+    fault_log_payload,
     kill_all_devices_plan,
     load_fault_plan,
 )
@@ -52,7 +59,12 @@ __all__ = [
     "AdaptationRecord",
     "AdaptiveTask",
     "BoundaryCosts",
+    "CHECKPOINT_SCHEMA",
     "CancelToken",
+    "CheckpointRecorder",
+    "fault_log_payload",
+    "load_frames",
+    "load_last_frame",
     "Connection",
     "DemotionRecord",
     "DeviceHealth",

@@ -31,6 +31,7 @@ from repro.errors import (
     DeviceError,
     DeviceTimeoutError,
     MarshalingError,
+    ProcessCrash,
 )
 from repro.obs.tracer import NULL_TRACER
 
@@ -49,6 +50,9 @@ ERRORS = (
     "stall",       # sleeps stall_s without raising (trips the watchdog)
     "corrupt",     # silently perturbs device outputs (wrong answers);
                    # only shadow probes (docs/RESILIENCE.md) catch it
+    "crash",       # raises ProcessCrash (a BaseException): simulates
+                   # the host process dying mid-dispatch; only the
+                   # journal/recovery path survives it (docs/RECOVERY.md)
 )
 
 
@@ -147,6 +151,11 @@ class FaultSpec:
                 f"fault window is empty: from_call={self.from_call} > "
                 f"until_call={self.until_call}"
             )
+        if self.error == "crash" and self.times is None:
+            # A crash that refires forever can never converge across
+            # restarts; one firing per spec is the sane default (an
+            # explicit times=N still works for chaos schedules).
+            object.__setattr__(self, "times", 1)
 
     def matches(self, site: str, targets: list) -> bool:
         if site != self.site:
@@ -191,6 +200,21 @@ class InjectedFault:
     error: str
     target: str      # the concrete target that matched, not the pattern
     call_index: int  # 1-based index among the spec's matching calls
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_index": self.spec_index,
+            "site": self.site,
+            "error": self.error,
+            "target": self.target,
+            "call_index": self.call_index,
+        }
+
+
+def fault_log_payload(log) -> list:
+    """A fault log as plain dicts — the canonical form journal records,
+    checkpoint frames, and result digests use."""
+    return [record.to_dict() for record in log]
 
 
 class FaultPlan:
@@ -309,6 +333,13 @@ class FaultInjector:
             for index in range(len(plan.specs))
         ]
         self.log: list[InjectedFault] = []
+        # Crash suppression (docs/RECOVERY.md): (spec_index, call_index)
+        # pairs the journal already witnessed firing. A suppressed crash
+        # still consumes its fire budget and RNG draw — so every other
+        # counter stays aligned with the uninterrupted run — but does
+        # not log or raise, which is what makes restart loops converge.
+        self.suppressed: set = set()
+        self.suppress_all_crashes = False
 
     def check(self, site: str, targets: list, device=None, task_id=None,
               count: int = 1):
@@ -348,6 +379,15 @@ class FaultInjector:
             if spec.probability < 1.0:
                 if self._rngs[index].random() >= spec.probability:
                     return None
+            if spec.error == "crash" and (
+                self.suppress_all_crashes
+                or (index, call) in self.suppressed
+            ):
+                # Witnessed (or baseline-suppressed) crash: burn the
+                # fire budget silently so later calls see identical
+                # counters, but don't unwind again.
+                self._fires[index] = fires + 1
+                return None
             self._fires[index] = fires + 1
             record = InjectedFault(
                 spec_index=index,
@@ -422,6 +462,14 @@ class FaultInjector:
             f"injected {spec.error} fault at {record.site} "
             f"on {record.target!r} (call #{record.call_index})"
         )
+        if spec.error == "crash":
+            raise ProcessCrash(
+                message,
+                site=record.site,
+                target=record.target,
+                spec_index=record.spec_index,
+                call_index=record.call_index,
+            )
         if spec.error == "device":
             raise DeviceError(message)
         if spec.error == "marshaling":
@@ -439,6 +487,41 @@ class FaultInjector:
         """Total number of faults injected so far."""
         return len(self.log)
 
+    # -- crash suppression and checkpoint state (docs/RECOVERY.md) -----
+
+    def suppress(self, pairs) -> None:
+        """Mark ``(spec_index, call_index)`` crash firings as already
+        witnessed by the journal: they consume their budget silently
+        instead of unwinding the process again."""
+        self.suppressed.update((int(s), int(c)) for s, c in pairs)
+
+    def export_state(self) -> dict:
+        """Snapshot the injector for a checkpoint frame: per-spec call
+        and fire counters, RNG stream positions, and the fault log."""
+        with self._lock:
+            return {
+                "calls": {str(k): v for k, v in self._calls.items()},
+                "fires": {str(k): v for k, v in self._fires.items()},
+                "rngs": [rng.state for rng in self._rngs],
+                "log": fault_log_payload(self.log),
+            }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a snapshot taken by :meth:`export_state` (resume
+        from a checkpoint: memoized calls never re-consult the
+        injector, so the restored counters line up with the first live
+        call)."""
+        with self._lock:
+            self._calls = {
+                int(k): int(v) for k, v in payload["calls"].items()
+            }
+            self._fires = {
+                int(k): int(v) for k, v in payload["fires"].items()
+            }
+            for rng, state in zip(self._rngs, payload["rngs"]):
+                rng.state = int(state)
+            self.log = [InjectedFault(**row) for row in payload["log"]]
+
     def __repr__(self) -> str:
         return f"<FaultInjector {self.fired()} fired of {self.plan!r}>"
 
@@ -448,6 +531,16 @@ class _NullInjector:
 
     enabled = False
     log: tuple = ()
+    suppress_all_crashes = False
+
+    def suppress(self, pairs) -> None:
+        pass
+
+    def export_state(self) -> None:
+        return None
+
+    def restore_state(self, payload) -> None:
+        pass
 
     def check(self, site, targets, device=None, task_id=None,
               count: int = 1) -> None:

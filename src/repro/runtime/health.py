@@ -161,6 +161,19 @@ class TransitionRecord:
             payload["cooldown_s"] = self.cooldown_s
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TransitionRecord":
+        return cls(
+            key=payload["key"],
+            device=payload["device"],
+            from_state=payload["from"],
+            to_state=payload["to"],
+            at_s=payload["at_s"],
+            reason=payload["reason"],
+            trips=payload["trips"],
+            cooldown_s=payload.get("cooldown_s"),
+        )
+
 
 class DeviceHealth:
     """Health record and circuit breaker for one (device, span).
@@ -320,6 +333,39 @@ class DeviceHealth:
             "covered_task_ids": list(self.covered_task_ids),
             "transitions": [t.to_dict() for t in self.transitions],
         }
+
+    # -- checkpoint state (docs/RECOVERY.md) ---------------------------
+
+    def export_state(self) -> dict:
+        """Full breaker snapshot for a checkpoint frame — everything
+        :meth:`to_dict` reports plus the private machinery (sliding
+        window, quarantine anchor, probe streak)."""
+        payload = self.to_dict()
+        payload["opened_at_s"] = self.opened_at_s
+        payload["clean_probes"] = self.clean_probes
+        payload["window"] = [[at_s, ok] for at_s, ok in self._window]
+        return payload
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a snapshot taken by :meth:`export_state`."""
+        self.state = payload["state"]
+        self.now_s = float(payload["now_s"])
+        self.trips = int(payload["trips"])
+        self.opened_at_s = payload.get("opened_at_s")
+        self.clean_probes = int(payload.get("clean_probes", 0))
+        self.successes = int(payload["successes"])
+        self.failures = int(payload["failures"])
+        self.fallbacks = int(payload["fallbacks"])
+        self.probes = int(payload["probes"])
+        self.probe_failures = int(payload["probe_failures"])
+        self.repromotions = int(payload["repromotions"])
+        self.covered_task_ids = list(payload.get("covered_task_ids", ()))
+        self.transitions = [
+            TransitionRecord.from_dict(t) for t in payload["transitions"]
+        ]
+        self._window = deque(
+            (float(at_s), bool(ok)) for at_s, ok in payload["window"]
+        )
 
     def __repr__(self) -> str:
         return (
@@ -497,6 +543,41 @@ class HealthRegistry:
             pass
         for listener in list(self._listeners):
             listener(record, transition)
+
+    # -- checkpoint state (docs/RECOVERY.md) -------------------------------
+
+    def export_state(self) -> list:
+        """Snapshot every breaker for a checkpoint frame, in sorted
+        (device, key) order so the frame bytes are deterministic."""
+        with self._lock:
+            records = sorted(
+                self._breakers.values(),
+                key=lambda r: (r.device, r.key),
+            )
+            return [record.export_state() for record in records]
+
+    def restore_state(self, rows: list) -> list:
+        """Restore breakers snapshotted by :meth:`export_state`,
+        creating them as needed; returns the restored records so the
+        caller can re-pin OPEN spans into its substitution policy."""
+        restored = []
+        for row in rows:
+            record = self.breaker(
+                row["device"], row["key"],
+                covered_task_ids=row.get("covered_task_ids", ()),
+            )
+            with self._lock:
+                record.restore_state(row)
+                self._gauge(record)
+            restored.append(record)
+        return restored
+
+    def discard(self, device: str, key: str) -> None:
+        """Drop one breaker (no-op if absent) — used when a checkpoint
+        resume is abandoned and its restored state must not leak into
+        the from-scratch re-run."""
+        with self._lock:
+            self._breakers.pop((device, key), None)
 
     # -- report ------------------------------------------------------------
 

@@ -100,6 +100,12 @@ class SequentialScheduler:
                 pipeline.started = True
                 _attach_stage_context(exc, task, self.name)
                 raise
+            # Sequential execution is quiescent between stages — the
+            # one scheduler that can persist crash-recovery checkpoint
+            # frames mid-graph (docs/RECOVERY.md).
+            quiesce = getattr(ctx.engine, "checkpoint_quiesce", None)
+            if quiesce is not None:
+                quiesce(inline=True)
         pipeline.started = True
 
     def join(self, pipeline: Pipeline) -> None:

@@ -107,6 +107,20 @@ class DemotionRecord:
     # up — the health registry charges it to the span's breaker clock.
     backoff_s: float = 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "device": self.device,
+            "attempts": self.attempts,
+            "error": self.error,
+            "covered_task_ids": list(self.covered_task_ids),
+            "backoff_s": self.backoff_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DemotionRecord":
+        return cls(**payload)
+
 
 class Supervisor:
     """Wraps device execution with retry/backoff and demotion.
@@ -256,6 +270,41 @@ class Supervisor:
             if on_demote is not None:
                 on_demote(record, last)
             return fallback()
+
+    # -- checkpoint state (docs/RECOVERY.md) ---------------------------
+
+    def export_state(self) -> dict:
+        """Snapshot the per-task RNG stream positions, accumulated
+        backoff, and the demotion log for a checkpoint frame."""
+        with self._lock:
+            return {
+                "rngs": {
+                    task_id: rng.state
+                    for task_id, rng in self._rngs.items()
+                },
+                "backoff": dict(self._backoff_by_task),
+                "demotions": [d.to_dict() for d in self.demotions],
+            }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a snapshot taken by :meth:`export_state`, so live
+        retries after a checkpoint resume draw the same jitter the
+        uninterrupted run would have."""
+        with self._lock:
+            self._rngs = {
+                task_id: _XorShift(1)
+                for task_id in payload["rngs"]
+            }
+            for task_id, state in payload["rngs"].items():
+                self._rngs[task_id].state = int(state)
+            self._backoff_by_task = {
+                task_id: float(backoff)
+                for task_id, backoff in payload["backoff"].items()
+            }
+            self.demotions = [
+                DemotionRecord.from_dict(row)
+                for row in payload["demotions"]
+            ]
 
     def __repr__(self) -> str:
         return (

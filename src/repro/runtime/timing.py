@@ -35,6 +35,21 @@ class TransferRecord:
     def total_s(self) -> float:
         return self.serialize_s + self.crossing_s + self.convert_s + self.link_s
 
+    def to_dict(self) -> dict:
+        return {
+            "direction": self.direction,
+            "num_bytes": self.num_bytes,
+            "serialize_s": self.serialize_s,
+            "crossing_s": self.crossing_s,
+            "convert_s": self.convert_s,
+            "link_s": self.link_s,
+            "link_name": self.link_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TransferRecord":
+        return cls(**payload)
+
 
 @dataclass
 class OffloadRecord:
@@ -64,6 +79,31 @@ class OffloadRecord:
     @property
     def total_s(self) -> float:
         return self.kernel_s + self.transfer_s
+
+    def to_dict(self) -> dict:
+        """Checkpoint-frame form (docs/RECOVERY.md). JSON floats
+        round-trip exactly (repr-based), so a replayed record charges
+        the ledger bit-identically."""
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "device": self.device,
+            "items": self.items,
+            "kernel_s": self.kernel_s,
+            "transfers": [t.to_dict() for t in self.transfers],
+            "launch_s": self.launch_s,
+            "compute_s": self.compute_s,
+            "memory_s": self.memory_s,
+            "in_graph": self.in_graph,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OffloadRecord":
+        payload = dict(payload)
+        payload["transfers"] = [
+            TransferRecord.from_dict(t) for t in payload["transfers"]
+        ]
+        return cls(**payload)
 
 
 @dataclass

@@ -17,18 +17,46 @@ from repro.service.jobs import (
     RUNNING,
     Job,
 )
+from repro.service.journal import (
+    JOURNAL_SCHEMA,
+    NULL_JOURNAL,
+    RECOVER_SCHEMA,
+    JobJournal,
+    JobReplay,
+    JournalSnapshot,
+    RecoveredOutcome,
+    load_journal,
+    outcome_digest,
+    render_recover_report,
+    validate_recover_file,
+    validate_recover_report,
+)
 from repro.service.pool import DevicePool, Lease
 from repro.service.service import (
     SERVICE_SCHEMA,
     CoExecutionService,
     ServiceConfig,
     render_service_report,
+    run_recovery_driver,
     run_service_driver,
     validate_service_file,
     validate_service_report,
 )
 
 __all__ = [
+    "JOURNAL_SCHEMA",
+    "RECOVER_SCHEMA",
+    "JobJournal",
+    "NULL_JOURNAL",
+    "JobReplay",
+    "JournalSnapshot",
+    "RecoveredOutcome",
+    "load_journal",
+    "outcome_digest",
+    "render_recover_report",
+    "validate_recover_file",
+    "validate_recover_report",
+    "run_recovery_driver",
     "AdmissionController",
     "TenantState",
     "DevicePool",

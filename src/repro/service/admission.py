@@ -125,10 +125,12 @@ class AdmissionController:
 
     # -- submission --------------------------------------------------------
 
-    def enqueue(self, tenant: str, job) -> None:
+    def enqueue(self, tenant: str, job, force: bool = False) -> None:
         """Queue a job for a registered tenant, or raise the typed
         :class:`AdmissionRejected` when the tenant is at its depth
-        bound."""
+        bound. ``force`` bypasses the bound — recovery re-admits
+        journaled jobs that were already admitted once and must not
+        be dropped by a depth race on restart."""
         with self._lock:
             state = self._tenants.get(tenant)
             if state is None:
@@ -137,7 +139,7 @@ class AdmissionController:
                 )
             state.submitted += 1
             depth = len(state.queue)
-            if depth >= self.max_queue_depth:
+            if depth >= self.max_queue_depth and not force:
                 state.rejected += 1
                 self.total_rejected += 1
                 pending = sum(

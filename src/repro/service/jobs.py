@@ -76,6 +76,19 @@ class Job:
         self.leased_families: tuple = ()
         self.wall_s = 0.0                  # dispatch-to-finish wall time
         self.done = threading.Event()
+        #: True when the job was re-admitted by recovery (journal
+        #: replay) rather than a fresh ``submit()``.
+        self.recovered = False
+        #: How the recovered job resumes: "checkpoint" | "scratch".
+        self.recovery_mode = ""
+        #: (spec_index, call_index) crash firings already journaled —
+        #: suppressed on re-run so the job converges past its crash.
+        self.crash_suppression: set = set()
+        #: Outcome digest (see ``repro.service.journal.outcome_digest``)
+        #: — the bit-identity certificate recovery verifies against.
+        self.digest: "str | None" = None
+        #: Canonical fault-log payload captured at completion.
+        self.fault_log: "list | None" = None
 
     @property
     def finished(self) -> bool:
@@ -93,6 +106,11 @@ class Job:
         }
         if self.outcome is not None:
             row["simulated_s"] = self.outcome.ledger.total_s
+        if self.digest is not None:
+            row["digest"] = self.digest
+        if self.recovered:
+            row["recovered"] = True
+            row["recovery_mode"] = self.recovery_mode
         if self.error is not None:
             row["error"] = {
                 "type": type(self.error).__name__,

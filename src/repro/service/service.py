@@ -42,12 +42,20 @@ from repro.backends.common import FPGA, GPU
 from repro.compiler import CompileOptions, CompilerSession
 from repro.errors import (
     AdmissionRejected,
+    CheckpointReplayError,
     ConfigurationError,
     JobCancelledError,
+    JobResultTimeout,
     LiquidMetalError,
+    ProcessCrash,
 )
 from repro.obs.metrics import NULL_METRICS
+from repro.runtime.checkpoint import (
+    DEFAULT_INTERVAL as CHECKPOINT_DEFAULT_INTERVAL,
+    CheckpointRecorder,
+)
 from repro.runtime.engine import Runtime, RuntimeConfig
+from repro.runtime.faults import fault_log_payload
 from repro.runtime.health import HealthRegistry
 from repro.service.admission import AdmissionController
 from repro.service.jobs import (
@@ -59,6 +67,14 @@ from repro.service.jobs import (
     RUNNING,
     Job,
 )
+from repro.service.journal import (
+    NULL_JOURNAL,
+    RECOVER_SCHEMA,
+    JobJournal,
+    canonical_args,
+    load_journal,
+    outcome_digest,
+)
 from repro.service.pool import DevicePool
 
 __all__ = [
@@ -69,6 +85,7 @@ __all__ = [
     "validate_service_file",
     "render_service_report",
     "run_service_driver",
+    "run_recovery_driver",
 ]
 
 #: Schema stamp for service reports.
@@ -96,6 +113,18 @@ class ServiceConfig:
     #: Wall clock used for job deadlines and retry-after estimates —
     #: injectable so deadline tests are deterministic.
     clock: object = time.monotonic
+    #: Directory for the durable job journal + per-job checkpoint
+    #: files (docs/RECOVERY.md). None disables crash consistency.
+    journal_dir: "str | None" = None
+    #: Decision points between persisted checkpoint frames (only
+    #: meaningful with a journal_dir). The default keeps the modeled
+    #: persist cost under the documented 10% overhead bar
+    #: (docs/RECOVERY.md).
+    checkpoint_interval: int = CHECKPOINT_DEFAULT_INTERVAL
+    #: Suppress every 'crash' fault firing (burning its budget so
+    #: counters/RNG stay aligned) — the uninterrupted-baseline mode
+    #: the recovery differential compares against.
+    suppress_crashes: bool = False
 
     def __post_init__(self):
         if self.gpu_slots < 0 or self.fpga_slots < 0:
@@ -109,13 +138,23 @@ class ServiceConfig:
                 f"max_queue_depth must be >= 1, "
                 f"got {self.max_queue_depth}"
             )
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {self.checkpoint_interval}"
+            )
 
 
 class CoExecutionService:
     """A persistent, multi-tenant front end over the runtime stack."""
 
-    def __init__(self, config: "ServiceConfig | None" = None):
+    def __init__(self, config: "ServiceConfig | None" = None,
+                 journal_dir: "str | None" = None):
         self.config = config or ServiceConfig()
+        if journal_dir is not None:
+            self.config = dataclasses.replace(
+                self.config, journal_dir=journal_dir
+            )
         self.tracer = self.config.runtime.tracer
         self.metrics = getattr(self.tracer, "metrics", NULL_METRICS)
         self.session = CompilerSession(self.config.compile_options)
@@ -136,6 +175,75 @@ class CoExecutionService:
         self._seq = 0
         self._running = 0
         self._draining = False
+        # Crash consistency (docs/RECOVERY.md): load whatever journal
+        # survived the previous incarnation *before* opening it for
+        # append, so recovery sees exactly the pre-crash records.
+        self._crashed: "ProcessCrash | None" = None
+        self._recorders: dict = {}   # job_id -> live CheckpointRecorder
+        self._to_recover: list = []  # JobReplay rows needing a re-run
+        self._deduped: list = []     # report rows for replayed jobs
+        self._rejected_ids: list = []
+        self._journal_torn_bytes = 0
+        self._journal_prior_records = 0
+        if self.config.journal_dir is None:
+            self.journal = NULL_JOURNAL
+        else:
+            snapshot = load_journal(self.config.journal_dir)
+            self.journal = JobJournal(
+                self.config.journal_dir, tracer=self.tracer
+            )
+            self._ingest_journal(snapshot)
+
+    def _ingest_journal(self, snapshot) -> None:
+        """Fold a prior incarnation's journal into this service:
+        terminal jobs become deduplicated Job records (``result()``
+        serves them without re-running), non-terminal admitted jobs
+        queue for :meth:`recover`, submitted-but-never-admitted jobs
+        stay rejected (their admission never committed)."""
+        counters = self.tracer.counters
+        self._journal_torn_bytes = snapshot.torn_bytes
+        self._journal_prior_records = snapshot.records
+        for job_id, replay in snapshot.jobs.items():
+            number = job_id.rsplit("-", 1)[-1]
+            if number.isdigit():
+                self._seq = max(self._seq, int(number))
+            if not replay.admitted:
+                self._rejected_ids.append(job_id)
+                continue
+            if replay.terminal:
+                job = Job(
+                    job_id=job_id,
+                    tenant=replay.tenant,
+                    source=replay.source,
+                    entry=replay.entry,
+                    args=replay.args or [],
+                    app=replay.app,
+                    filename=replay.filename,
+                    clock=self.config.clock,
+                )
+                job.recovered = True
+                job.state = replay.state
+                if replay.state == COMPLETED:
+                    job.outcome = replay.outcome()
+                    job.digest = job.outcome.digest
+                    job.fault_log = list(job.outcome.fault_log)
+                else:
+                    job.error = LiquidMetalError(
+                        f"[journaled {replay.error_type}] {replay.error}"
+                    )
+                job.done.set()
+                self.admission.register(replay.tenant, 1)
+                self._jobs[job_id] = job
+                self._deduped.append({
+                    "job_id": job_id,
+                    "app": replay.app,
+                    "tenant": replay.tenant,
+                    "state": replay.state,
+                    "digest": (replay.completed or {}).get("digest"),
+                })
+                counters.add("recover.dedup")
+            else:
+                self._to_recover.append(replay)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -169,6 +277,7 @@ class CoExecutionService:
         :class:`~repro.errors.AdmissionRejected` when the tenant's
         queue is at its bound (or the service is draining)."""
         counters = self.tracer.counters
+        self._check_crashed()
         with self._lock:
             if self._draining:
                 counters.add("service.reject")
@@ -195,6 +304,22 @@ class CoExecutionService:
                 deadline_s=deadline_s,
                 clock=self.config.clock,
             )
+            if self.journal.enabled:
+                # Wire-canonical inputs (docs/RECOVERY.md): a
+                # recovered re-run gets its arguments back out of the
+                # journal, so the first run must execute the same
+                # post-round-trip values. Unserializable arguments
+                # stay as-is; the journal marks the job
+                # unrecoverable.
+                try:
+                    job.args = canonical_args(job.args)
+                except Exception:
+                    pass
+            # Write-ahead: the submitted record (full deterministic
+            # inputs) lands before the queue commit; a crash between
+            # the two leaves a submitted-but-never-admitted record
+            # that recovery treats as rejected.
+            self.journal.record_submitted(job)
             try:
                 self.admission.enqueue(tenant, job)
             except AdmissionRejected:
@@ -202,6 +327,7 @@ class CoExecutionService:
                 counters.add(f"service.reject[{tenant}]")
                 raise
             self._jobs[job.job_id] = job
+            self.journal.record_admitted(job.job_id)
         # Compile up front (memoized across jobs) so dispatch knows
         # which device families this program can actually use — a
         # gpu-only job must not hold the fpga slot. Compile failures
@@ -251,8 +377,11 @@ class CoExecutionService:
         job's typed error (FAILED and CANCELLED both raise)."""
         job = self._job(job_id)
         if not job.done.wait(timeout_s):
-            raise TimeoutError(
-                f"job {job_id} still {job.state} after {timeout_s}s"
+            raise JobResultTimeout(
+                f"job {job_id} still {job.state} after {timeout_s}s",
+                job_id=job_id,
+                state=job.state,
+                timeout_s=timeout_s,
             )
         if job.state == COMPLETED:
             return job.outcome
@@ -320,6 +449,10 @@ class CoExecutionService:
         so one starved tenant never blocks the others."""
         to_start: list = []
         with self._lock:
+            if self._crashed is not None:
+                # The simulated process is dead: nothing dispatches
+                # until a restarted service recovers the journal.
+                return
             tried: set = set()
             while self._running + len(to_start) < self.config.max_running:
                 job = self.admission.next_job(exclude=tried)
@@ -338,6 +471,8 @@ class CoExecutionService:
                 job.lease = lease
                 job.leased_families = lease.families
                 job.state = RUNNING
+                self.journal.record_leased(job.job_id, lease.families)
+                self.journal.record_running(job.job_id)
                 to_start.append(job)
             self._running += len(to_start)
             for job in to_start:
@@ -366,6 +501,73 @@ class CoExecutionService:
             policy=policy, job_id=job.job_id, tenant=job.tenant
         )
 
+    def _make_recorder(
+        self, job: Job, resume: bool
+    ) -> "CheckpointRecorder | None":
+        """A checkpoint recorder for this job run, or None when the
+        service has no journal or the runtime config is not
+        capturable (kernel specialization, adaptive policies)."""
+        if not self.journal.enabled:
+            return None
+        cfg = self.config.runtime
+        if cfg.specialize.enabled or cfg.policy.adaptive:
+            return None
+        path = self.journal.checkpoint_path(job.job_id)
+        if resume:
+            recorder = CheckpointRecorder.resume(
+                path,
+                interval=self.config.checkpoint_interval,
+                job_id=job.job_id,
+                tracer=self.tracer,
+            )
+            if recorder is not None:
+                return recorder
+            # Missing/empty/wholly-torn checkpoint: fall back to a
+            # from-scratch re-run (fresh capture below).
+            job.recovery_mode = "scratch"
+        return CheckpointRecorder(
+            path,
+            interval=self.config.checkpoint_interval,
+            job_id=job.job_id,
+            tracer=self.tracer,
+        )
+
+    def _prepare_faults(self, runtime: Runtime, job: Job) -> None:
+        """Arm crash suppression on the job's injector: firings this
+        job already journaled burn their budget silently on the re-run
+        (counters and RNG stay aligned with the uninterrupted
+        baseline), and a baseline service can suppress every crash
+        outright."""
+        if job.crash_suppression:
+            runtime.faults.suppress(job.crash_suppression)
+        if self.config.suppress_crashes:
+            runtime.faults.suppress_all_crashes = True
+
+    def _check_crashed(self) -> None:
+        with self._lock:
+            crashed = self._crashed
+        if crashed is not None:
+            raise crashed
+
+    def _die(self, crash: ProcessCrash) -> None:
+        """Simulate the process dying: all later journal writes are
+        lost, every live checkpoint recorder stops persisting (a
+        zombie runtime thread must not race the restarted service with
+        stale frames), every running job's token trips so its thread
+        unwinds, and the public API raises the crash."""
+        self.journal.mark_dead()
+        with self._lock:
+            self._crashed = crash
+            recorders = list(self._recorders.values())
+            running = [
+                j for j in self._jobs.values()
+                if j.state == RUNNING and j.error is None
+            ]
+        for recorder in recorders:
+            recorder.kill()
+        for other in running:
+            other.token.cancel("process crash")
+
     def _run_job(self, job: Job) -> None:
         counters = self.tracer.counters
         start_wall = time.perf_counter()
@@ -383,15 +585,53 @@ class CoExecutionService:
                 compiled = self.session.compile_cached(
                     job.source, filename=job.filename
                 )
-                runtime = Runtime(
-                    compiled,
-                    self._runtime_config(job),
-                    health_registry=self.health,
-                    cancel_token=job.token,
+                resume = (
+                    job.recovered and job.recovery_mode == "checkpoint"
                 )
-                outcome = runtime.run(job.entry, job.args)
+                while True:
+                    recorder = self._make_recorder(job, resume)
+                    try:
+                        runtime = Runtime(
+                            compiled,
+                            self._runtime_config(job),
+                            health_registry=self.health,
+                            cancel_token=job.token,
+                        )
+                        if recorder is not None:
+                            # Attach outside the ctor so a rejected
+                            # resume leaves a closeable runtime.
+                            runtime.checkpointer = recorder
+                            recorder.attach(runtime)
+                            with self._lock:
+                                self._recorders[job.job_id] = recorder
+                        self._prepare_faults(runtime, job)
+                        outcome = runtime.run(job.entry, job.args)
+                    except CheckpointReplayError:
+                        # The frame does not match the re-run (config
+                        # drift, torn memo): scrub the breakers it
+                        # restored and re-run from scratch — still
+                        # bit-identical, just slower.
+                        if recorder is not None:
+                            recorder.invalidate(self.health)
+                        if runtime is not None:
+                            runtime.shutdown_active()
+                            runtime.close()
+                            runtime = None
+                        job.recovery_mode = "scratch"
+                        resume = False
+                        counters.add("service.job.checkpoint_invalid")
+                        continue
+                    break
                 job.outcome = outcome
+                job.fault_log = fault_log_payload(runtime.faults.log)
+                job.digest = outcome_digest(
+                    outcome.value,
+                    outcome.output,
+                    outcome.ledger.total_s,
+                    job.fault_log,
+                )
                 job.state = COMPLETED
+                self.journal.record_completed(job)
                 span.set(
                     state=COMPLETED, simulated_s=outcome.ledger.total_s
                 )
@@ -400,18 +640,32 @@ class CoExecutionService:
         except JobCancelledError as exc:
             job.error = exc
             job.state = CANCELLED
+            self.journal.record_cancelled(job.job_id, exc)
             counters.add("service.job.cancelled")
             counters.add(f"service.job.cancelled[{job.tenant}]")
+        except ProcessCrash as exc:
+            # The simulated process dies here. Journal the one record
+            # a dying process gets to write — which firing killed it —
+            # then lose everything after it.
+            job.error = exc
+            job.state = FAILED
+            counters.add("service.crash")
+            self.journal.record_crashed(job.job_id, exc)
+            self._die(exc)
         except LiquidMetalError as exc:
             job.error = exc
             job.state = FAILED
+            self.journal.record_failed(job.job_id, exc)
             counters.add("service.job.failed")
             counters.add(f"service.job.failed[{job.tenant}]")
         except BaseException as exc:  # defensive: never hang a waiter
             job.error = exc
             job.state = FAILED
+            self.journal.record_failed(job.job_id, exc)
             counters.add("service.job.failed")
         finally:
+            with self._lock:
+                self._recorders.pop(job.job_id, None)
             if runtime is not None:
                 # Drain any wreckage a cancellation left behind, then
                 # detach the runtime's listener from the shared
@@ -435,24 +689,158 @@ class CoExecutionService:
         with self._lock:
             self._draining = True
             jobs = list(self._jobs.values())
+        self._check_crashed()
         self._dispatch()
         deadline = (
             None if timeout_s is None
             else time.perf_counter() + timeout_s
         )
         for job in jobs:
+            self._wait_job(job, deadline, "drain")
+        for thread in list(self._threads):
+            thread.join(1.0)
+        self._check_crashed()
+        return self.to_report()
+
+    def _wait_job(self, job: Job, deadline: "float | None",
+                  what: str) -> None:
+        """Wait for one job in short slices so a simulated process
+        crash on a worker thread surfaces promptly to the caller
+        (the crash, not a drain timeout, is the real story)."""
+        while True:
+            self._check_crashed()
             remaining = (
                 None if deadline is None
                 else max(0.0, deadline - time.perf_counter())
             )
-            if not job.done.wait(remaining):
+            slice_s = 0.05 if remaining is None else min(0.05, remaining)
+            if job.done.wait(slice_s):
+                return
+            if remaining is not None and remaining <= slice_s:
                 raise TimeoutError(
-                    f"drain timed out waiting on {job.job_id} "
+                    f"{what} timed out waiting on {job.job_id} "
                     f"({job.state})"
                 )
-        for thread in list(self._threads):
-            thread.join(1.0)
-        return self.to_report()
+
+    # -- recovery ----------------------------------------------------------
+
+    def has_job(self, job_id: str) -> bool:
+        """True when this incarnation knows the job (live, deduped
+        from the journal, or re-admitted by recovery)."""
+        with self._lock:
+            return job_id in self._jobs
+
+    def recover(self, timeout_s: "float | None" = 60.0,
+                use_checkpoints: bool = True) -> dict:
+        """Deterministic restart: re-admit every journaled job that
+        never reached a terminal state, run each to completion
+        (resuming from its latest valid checkpoint frame when
+        ``use_checkpoints``, else from scratch), and return the
+        ``repro.recover/1`` report. Completed/failed/cancelled jobs
+        were already deduplicated at construction — replaying them is
+        idempotent. Call it on a fresh service even over an empty
+        journal; the report is then trivially empty."""
+        self._check_crashed()
+        counters = self.tracer.counters
+        with self._lock:
+            replays = list(self._to_recover)
+            self._to_recover = []
+        resumed: list = []
+        for replay in replays:
+            self.admission.register(replay.tenant, 1)
+            with self._lock:
+                job = Job(
+                    job_id=replay.job_id,
+                    tenant=replay.tenant,
+                    source=replay.source,
+                    entry=replay.entry,
+                    args=replay.args or [],
+                    app=replay.app,
+                    filename=replay.filename,
+                    clock=self.config.clock,
+                )
+                job.recovered = True
+                job.crash_suppression = set(replay.crashes)
+                job.recovery_mode = (
+                    "checkpoint" if use_checkpoints else "scratch"
+                )
+                if replay.unrecoverable:
+                    job.recovery_mode = "unrecoverable"
+                    job.error = ConfigurationError(
+                        f"job {job.job_id} cannot be recovered: its "
+                        f"arguments were outside the wire format"
+                    )
+                    job.state = FAILED
+                    job.done.set()
+                    self._jobs[job.job_id] = job
+                    self.journal.record_failed(job.job_id, job.error)
+                    resumed.append(job)
+                    continue
+                # force=True: the job was admitted once already; a
+                # depth bound must not drop it on restart.
+                self.admission.enqueue(replay.tenant, job, force=True)
+                self._jobs[job.job_id] = job
+            self.journal.record_recovered(
+                job.job_id, job.recovery_mode
+            )
+            counters.add("recover.resumed")
+            try:
+                compiled = self.session.compile_cached(
+                    job.source, filename=job.filename
+                )
+            except LiquidMetalError as exc:
+                job.compile_error = exc
+            else:
+                job.device_families = tuple(
+                    family
+                    for family in (
+                        self.config.runtime.policy.device_order
+                    )
+                    if compiled.store.for_device(family)
+                )
+            resumed.append(job)
+        self._dispatch()
+        deadline = (
+            None if timeout_s is None
+            else time.perf_counter() + timeout_s
+        )
+        for job in resumed:
+            self._wait_job(job, deadline, "recover")
+        with self._lock:
+            deduped = list(self._deduped)
+            rejected = list(self._rejected_ids)
+        recovered_rows = [
+            {
+                "job_id": job.job_id,
+                "app": job.app,
+                "tenant": job.tenant,
+                "mode": job.recovery_mode,
+                "state": job.state,
+                "digest": job.digest,
+                "crashes_suppressed": len(job.crash_suppression),
+            }
+            for job in resumed
+        ]
+        modes = [row["mode"] for row in recovered_rows]
+        return {
+            "schema": RECOVER_SCHEMA,
+            "journal": {
+                "path": self.journal.path,
+                "records": self._journal_prior_records,
+                "torn_bytes": self._journal_torn_bytes,
+            },
+            "deduped": deduped,
+            "recovered": recovered_rows,
+            "rejected": rejected,
+            "totals": {
+                "jobs": len(deduped) + len(recovered_rows),
+                "deduped": len(deduped),
+                "recovered": len(recovered_rows),
+                "from_checkpoint": modes.count("checkpoint"),
+                "from_scratch": modes.count("scratch"),
+                "rejected": len(rejected),
+            },
+        }
 
     # -- report ------------------------------------------------------------
 
@@ -829,4 +1217,182 @@ def run_service_driver(
             "apps": sorted(solo_cache),
             "timing_checked": fault_plan is None,
         }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Deterministic crash/restart driver (CLI `recover` / make recover-smoke)
+# ---------------------------------------------------------------------------
+
+
+def run_recovery_driver(
+    journal_dir: str,
+    jobs: int = 6,
+    scheduler: str = "sequential",
+    seed: int = 1,
+    crash_call: int = 3,
+    checkpoint_interval: int = 2,
+    batch_size: int = 8,
+    use_checkpoints: bool = True,
+    gpu_slots: int = 2,
+    fpga_slots: int = 1,
+    max_running: int = 2,
+    max_restarts: int = 32,
+    stage_timeout_s: "float | None" = 10.0,
+    tracer=None,
+) -> dict:
+    """Submit ``jobs`` jobs against a journaled service under a seeded
+    crash schedule (each job's injector fires a ``crash`` fault at its
+    ``crash_call``-th device consult), then crash-and-restart the
+    service in a loop — recover the journal, resubmit whatever was
+    never journaled, drain — until a pass completes with no crash.
+
+    Every job's outcome digest is then verified bit-identical to a
+    standalone uninterrupted baseline: the same app under the same
+    fault plan with every crash suppressed (the suppression burns the
+    same fire budget and RNG draws the recovered runs burn, so fault
+    logs align too). The returned ``repro.recover/1`` report gains a
+    ``driver`` section; a divergence or non-convergence raises.
+    """
+    from repro.apps import SUITE, workloads
+    from repro.runtime.faults import (
+        FaultInjector,
+        FaultPlan,
+        FaultSpec,
+    )
+
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    plan = FaultPlan(
+        [FaultSpec(site="device", error="crash", target="*",
+                   on_calls=(crash_call,))],
+        seed=seed,
+    )
+    slots = []
+    for index in range(jobs):
+        app = DRIVER_APPS[index % len(DRIVER_APPS)]
+        entry, args = workloads.small_args(app)
+        slots.append({
+            # Wire-canonical arguments: exactly what the journaled
+            # service executes, so the uninterrupted baselines below
+            # see the same inputs a recovered re-run sees.
+            "app": app, "entry": entry,
+            "args": canonical_args(args),
+            "tenant": f"t{index % 3}", "job_id": None,
+        })
+
+    def build_service() -> CoExecutionService:
+        # Small marshaling batches split each stream across several
+        # device decision points, so the seeded crash lands mid-stream
+        # and checkpoint frames exist to resume from. The baselines
+        # below use the same sizes — batch size is visible to the
+        # injector's call stream, so it is part of the determinism
+        # contract.
+        runtime = RuntimeConfig(
+            scheduler=scheduler,
+            fault_plan=plan,
+            batch_size=batch_size,
+            device_batch_size=batch_size,
+            stage_timeout_s=(
+                stage_timeout_s if scheduler == "threaded" else None
+            ),
+        )
+        if tracer is not None:
+            runtime = runtime.with_overrides(tracer=tracer)
+        return CoExecutionService(ServiceConfig(
+            gpu_slots=gpu_slots,
+            fpga_slots=fpga_slots,
+            max_running=max_running,
+            max_queue_depth=max(jobs, 8),
+            runtime=runtime,
+            journal_dir=journal_dir,
+            checkpoint_interval=checkpoint_interval,
+        ))
+
+    restarts = 0
+    from_checkpoint = 0
+    from_scratch = 0
+    service = None
+    report = None
+    while True:
+        service = build_service()
+        try:
+            report = service.recover(use_checkpoints=use_checkpoints)
+            from_checkpoint += report["totals"]["from_checkpoint"]
+            from_scratch += report["totals"]["from_scratch"]
+            for slot in slots:
+                if slot["job_id"] is not None and service.has_job(
+                    slot["job_id"]
+                ):
+                    continue
+                slot["job_id"] = service.submit(
+                    SUITE[slot["app"]].source,
+                    slot["entry"],
+                    slot["args"],
+                    tenant=slot["tenant"],
+                    app=slot["app"],
+                    filename=f"<{slot['app']}.lime>",
+                )
+            service.drain()
+        except ProcessCrash:
+            restarts += 1
+            if restarts > max_restarts:
+                raise LiquidMetalError(
+                    f"recovery did not converge after {max_restarts} "
+                    f"restarts (crash schedule seed={seed})"
+                )
+            continue
+        break
+
+    # Uninterrupted baselines: same plan, every crash suppressed.
+    solo_digests: dict = {}
+    verified = 0
+    for slot in slots:
+        app = slot["app"]
+        if app not in solo_digests:
+            injector = FaultInjector(plan)
+            injector.suppress_all_crashes = True
+            compiled = service.session.compile_cached(
+                SUITE[app].source, filename=f"<{app}.lime>"
+            )
+            solo = Runtime(
+                compiled,
+                RuntimeConfig(
+                    scheduler=scheduler,
+                    fault_plan=injector,
+                    batch_size=batch_size,
+                    device_batch_size=batch_size,
+                ),
+            ).run(slot["entry"], slot["args"])
+            solo_digests[app] = outcome_digest(
+                solo.value,
+                solo.output,
+                solo.ledger.total_s,
+                fault_log_payload(injector.log),
+            )
+        row = service.status(slot["job_id"])
+        if row["state"] != COMPLETED:
+            raise LiquidMetalError(
+                f"{slot['job_id']} ({app}) finished {row['state']!r} "
+                f"after recovery; expected completed"
+            )
+        if row.get("digest") != solo_digests[app]:
+            raise LiquidMetalError(
+                f"{slot['job_id']} ({app}): recovered digest "
+                f"{row.get('digest')} diverged from the uninterrupted "
+                f"baseline {solo_digests[app]}"
+            )
+        verified += 1
+    report["driver"] = {
+        "jobs": jobs,
+        "scheduler": scheduler,
+        "seed": seed,
+        "crash_call": crash_call,
+        "restarts": restarts,
+        "verified_jobs": verified,
+        "checkpoint_resumes": from_checkpoint,
+        "scratch_resumes": from_scratch,
+        "use_checkpoints": use_checkpoints,
+        "apps": sorted({slot["app"] for slot in slots}),
+    }
     return report

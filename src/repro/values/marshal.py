@@ -511,3 +511,94 @@ def deserialize_batch(data: bytes) -> list:
     if end != len(data):
         raise MarshalingError("trailing bytes after batch payload")
     return list(items)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/journal frames (docs/RECOVERY.md)
+# ---------------------------------------------------------------------------
+#
+# The durable job journal and the stage-checkpoint files both persist
+# append-only streams of *framed* records over the wire format above:
+#
+#     [u32 payload length][32-byte sha256(payload)][payload bytes]
+#
+# fsync-free but torn-write-tolerant: a crash mid-append leaves a short
+# or corrupt tail frame, which the reader detects (length overrun or
+# digest mismatch) and truncates — dropping exactly the torn record and
+# nothing before it.
+
+_FRAME_HEADER = struct.Struct("<I")
+_FRAME_DIGEST_BYTES = 32
+_FRAME_OVERHEAD = _FRAME_HEADER.size + _FRAME_DIGEST_BYTES
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap one record payload in a length+sha256 frame."""
+    import hashlib
+
+    return (
+        _FRAME_HEADER.pack(len(payload))
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+def unframe_records(data: bytes) -> "tuple[list, int]":
+    """Parse a stream of frames; returns ``(payloads, torn_bytes)``.
+
+    Parsing stops at the first frame that is short, overruns the
+    buffer, or fails its digest; everything from that point on counts
+    as torn bytes (a crash mid-append, or tail corruption)."""
+    import hashlib
+
+    payloads: list = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _FRAME_OVERHEAD:
+            break
+        (length,) = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_OVERHEAD
+        if start + length > total:
+            break
+        digest = data[offset + _FRAME_HEADER.size : start]
+        payload = data[start : start + length]
+        if hashlib.sha256(payload).digest() != digest:
+            break
+        payloads.append(payload)
+        offset = start + length
+    return payloads, total - offset
+
+
+def pack_values(values) -> bytes:
+    """Serialize a heterogeneous value list into one length-prefixed
+    stream of scalar wire frames — the checkpoint form of a memoized
+    stage/map result (elements need not share a kind, so the 0x09
+    batch frame does not apply)."""
+    parts = [_FRAME_HEADER.pack(len(values))]
+    for value in values:
+        frame = serialize(value)
+        parts.append(_FRAME_HEADER.pack(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def unpack_values(data: bytes) -> list:
+    """Invert :func:`pack_values`."""
+    if len(data) < _FRAME_HEADER.size:
+        raise MarshalingError("truncated pack_values stream")
+    (count,) = _FRAME_HEADER.unpack_from(data, 0)
+    offset = _FRAME_HEADER.size
+    values: list = []
+    for _ in range(count):
+        if len(data) < offset + _FRAME_HEADER.size:
+            raise MarshalingError("truncated pack_values element header")
+        (length,) = _FRAME_HEADER.unpack_from(data, offset)
+        offset += _FRAME_HEADER.size
+        if len(data) < offset + length:
+            raise MarshalingError("truncated pack_values element")
+        values.append(deserialize(data[offset : offset + length]))
+        offset += length
+    if offset != len(data):
+        raise MarshalingError("trailing bytes after pack_values stream")
+    return values

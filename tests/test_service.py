@@ -15,6 +15,7 @@ from repro.errors import (
     AdmissionRejected,
     ConfigurationError,
     JobCancelledError,
+    JobResultTimeout,
     LiquidMetalError,
 )
 from repro.runtime import (
@@ -248,6 +249,30 @@ class TestServiceLifecycle:
         svc = _service()
         with pytest.raises(ConfigurationError):
             svc.status("job-9999")
+
+    def test_result_timeout_is_typed_not_a_failure(self):
+        # Hold the only running slot so the job stays queued, then ask
+        # for its result with a zero budget: the wait must surface the
+        # typed JobResultTimeout (job id + observed state), and the
+        # job itself must be untouched — it completes normally once
+        # the slot frees up.
+        svc = _service(max_running=1)
+        with svc._lock:
+            svc._running = 1
+        job_id = _submit_app(svc, "bitflip", "alice")
+        with pytest.raises(JobResultTimeout) as excinfo:
+            svc.result(job_id, timeout_s=0.0)
+        err = excinfo.value
+        assert err.job_id == job_id
+        assert err.state == "queued"
+        assert err.timeout_s == 0.0
+        assert svc.status(job_id)["state"] == "queued"
+        with svc._lock:
+            svc._running = 0
+        svc._dispatch()
+        outcome = svc.result(job_id, timeout_s=30.0)
+        assert outcome.ledger.total_s > 0.0
+        assert svc.status(job_id)["state"] == COMPLETED
 
     def test_deadline_expired_job_never_acquires_a_lease(self):
         # deadline_s=0 expires immediately: dispatch must finish the
